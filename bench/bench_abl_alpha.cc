@@ -1,0 +1,51 @@
+// Ablation: the EBH hash factor alpha (Eq. 2).
+//
+// With the paper's literal alpha = 131, key clusters tighter than one
+// slot's key-width collapse onto single slots and the conflict degree
+// explodes; this implementation adaptively rescales alpha from the
+// node's median key gap. The ablation quantifies that mechanism on the
+// Fig. 9 clustered datasets.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/chameleon_index.h"
+#include "src/data/skew.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::printf("=== Ablation: fixed vs adaptive EBH hash factor ===\n");
+  std::printf("%zu keys per dataset, %zu lookups\n\n", opt.scale, opt.ops);
+
+  std::printf("%-26s %12s %12s %12s %12s\n", "dataset", "fixed-ns",
+              "fixed-MaxErr", "adapt-ns", "adapt-MaxErr");
+  PrintRule(80);
+  for (double sigma : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    const std::vector<Key> keys =
+        GenerateClusteredSkew(opt.scale, sigma, opt.seed);
+    const std::vector<KeyValue> data = ToKeyValues(keys);
+    char label[64];
+    std::snprintf(label, sizeof(label), "clustered sigma=%g lsn=%.3f", sigma,
+                  LocalSkewness(keys));
+
+    double ns[2], err[2];
+    for (int adaptive = 0; adaptive < 2; ++adaptive) {
+      ChameleonConfig config;
+      config.adaptive_alpha = (adaptive == 1);
+      ChameleonIndex index(config);
+      index.BulkLoad(data);
+      WorkloadGenerator gen(keys, opt.seed + 1);
+      ns[adaptive] = ReplayMeanNs(&index, gen.ReadOnly(opt.ops));
+      err[adaptive] = index.Stats().max_error;
+    }
+    std::printf("%-26s %12.1f %12.0f %12.1f %12.0f\n", label, ns[0], err[0],
+                ns[1], err[1]);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: at high skew the fixed-alpha MaxError "
+              "explodes and latency follows; adaptive stays flat\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: the Theorem-1 collision-probability target tau.
+//
+// tau is Chameleon's central space/time knob: smaller tau means larger
+// EBH capacities (more slots per key) but fewer collisions (smaller
+// conflict degrees and faster probes); larger tau compresses the leaves
+// at the cost of displacement. The paper fixes tau = 0.45; this sweep
+// shows the trade-off curve that choice sits on.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/chameleon_index.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::printf("=== Ablation: EBH collision target tau ===\n");
+  std::printf("%zu FACE keys, %zu ops per point\n\n", opt.scale, opt.ops);
+
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kFace, opt.scale, opt.seed);
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+
+  std::printf("%6s %12s %12s %10s %10s %10s\n", "tau", "lookup-ns",
+              "insert-ns", "MiB", "MaxError", "AvgError");
+  PrintRule(66);
+  for (double tau : {0.05, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90}) {
+    ChameleonConfig config;
+    config.tau = tau;
+    ChameleonIndex index(config);
+    index.BulkLoad(data);
+
+    WorkloadGenerator gen(keys, opt.seed + 1);
+    const double lookup_ns = ReplayMeanNs(&index, gen.ReadOnly(opt.ops));
+    const double insert_ns =
+        ReplayMeanNs(&index, gen.InsertDelete(opt.ops / 4, 1.0));
+    const IndexStats stats = index.Stats();
+    std::printf("%6.2f %12.1f %12.1f %10.2f %10.0f %10.2f\n", tau, lookup_ns,
+                insert_ns, ToMiB(index.SizeBytes()), stats.max_error,
+                stats.avg_error);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: memory falls with tau until the all-keys-"
+              "fit floor (~1.125 slots/key) binds near tau ~ 0.55; past "
+              "that, insert cost climbs steeply (displacement at high "
+              "load) while lookups stay flat. tau = 0.45 (the paper's "
+              "choice) is the last point before the floor.\n");
+  return 0;
+}

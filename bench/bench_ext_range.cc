@@ -1,0 +1,56 @@
+// Extension bench: range-scan throughput across all indexes.
+//
+// Not a paper experiment (the paper evaluates point queries), but range
+// scans are part of the common index contract and show the cost of
+// Chameleon's unordered EBH leaves (per-leaf collect + sort) against
+// natively ordered structures.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/util/random.h"
+#include "src/util/timer.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const size_t scans = opt.ops / 100;
+  std::printf("=== Extension: range scans (OSMC, %zu keys) ===\n", opt.scale);
+  std::printf("%zu scans per width\n\n", scans);
+
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kOsmc, opt.scale, opt.seed);
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+
+  std::printf("%-10s %14s %14s %14s\n", "index", "width10-ns", "width100-ns",
+              "width1000-ns");
+  PrintRule(58);
+  for (const std::string& name : AllIndexNames()) {
+    std::unique_ptr<KvIndex> index = MakeIndex(name);
+    index->BulkLoad(data);
+    std::printf("%-10s", name.c_str());
+    for (size_t width : {10u, 100u, 1000u}) {
+      Rng rng(opt.seed + width);
+      std::vector<KeyValue> out;
+      size_t total = 0;
+      Timer timer;
+      for (size_t s = 0; s < scans; ++s) {
+        const size_t a = rng.NextBounded(keys.size() - width);
+        out.clear();
+        total += index->RangeScan(keys[a], keys[a + width - 1], &out);
+      }
+      const double ns = timer.ElapsedNanos() / static_cast<double>(scans);
+      if (total != scans * width) {
+        std::fprintf(stderr, "WARNING: %s returned %zu of %zu rows\n",
+                     name.c_str(), total, scans * width);
+      }
+      std::printf(" %14.0f", ns);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

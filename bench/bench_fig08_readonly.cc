@@ -1,0 +1,52 @@
+// Reproduces Fig. 8: query latency and index size under read-only
+// workloads of growing cardinality (paper: 50M/100M/150M/200M keys on
+// UDEN/OSMC/LOGN/FACE; here scaled by --scale, same shape).
+//
+// Expected shape (paper Sec. VI-B1): with similar index sizes, Chameleon
+// is the most stable across skew levels, and on FACE (highest lsn) it is
+// fastest by a multiple over B+Tree/ALEX/DILI etc. On UDEN it is merely
+// competitive with RS/ALEX (uniform data is not its target).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::printf("=== Fig. 8: read-only query latency & index size ===\n");
+  std::printf("(paper runs 50M-200M keys; this run scales them to %zu-%zu)\n",
+              opt.scale / 4, opt.scale);
+
+  for (DatasetKind kind : kAllDatasets) {
+    std::printf("\n--- dataset %s (paper lsn %.3f) ---\n",
+                std::string(DatasetName(kind)).c_str(), PaperLsn(kind));
+    std::printf("%-10s", "index");
+    for (int frac = 1; frac <= 4; ++frac) {
+      std::printf("  %8zuk-ns %8zuk-MiB", opt.scale * frac / 4 / 1000,
+                  opt.scale * frac / 4 / 1000);
+    }
+    std::printf("\n");
+    PrintRule();
+    for (const std::string& name : AllIndexNames()) {
+      std::printf("%-10s", name.c_str());
+      for (int frac = 1; frac <= 4; ++frac) {
+        const size_t n = opt.scale * frac / 4;
+        const std::vector<Key> keys = GenerateDataset(kind, n, opt.seed);
+        const std::vector<KeyValue> data = ToKeyValues(keys);
+        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        index->BulkLoad(data);
+        WorkloadGenerator gen(keys, opt.seed + frac);
+        const std::vector<Operation> ops = gen.ReadOnly(opt.ops);
+        const double ns = ReplayMeanNs(index.get(), ops);
+        std::printf("  %11.1f %12.2f", ns, ToMiB(index->SizeBytes()));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

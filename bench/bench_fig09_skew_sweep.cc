@@ -1,0 +1,60 @@
+// Reproduces Fig. 9: query latency relative to B+Tree as local skewness
+// grows. Datasets are uniform backbones plus normal clusters of
+// decreasing variance (GenerateClusteredSkew); smaller sigma => higher
+// lsn.
+//
+// Expected shape: Chameleon's ratio stays ~flat as skew grows, while
+// the other learned indexes' ratios climb.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/data/skew.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const double sigmas[] = {1e-2, 1e-4, 1e-6, 1e-8};
+
+  std::printf("=== Fig. 9: latency ratio (vs B+Tree) vs local skewness ===\n");
+  std::printf("%zu keys per dataset, %zu lookups\n\n", opt.scale, opt.ops);
+
+  // Header with measured lsn per sigma.
+  std::printf("%-10s", "index");
+  for (double sigma : sigmas) {
+    const std::vector<Key> keys =
+        GenerateClusteredSkew(opt.scale, sigma, opt.seed);
+    std::printf("   lsn=%.3f", LocalSkewness(keys));
+  }
+  std::printf("\n");
+  PrintRule(60);
+
+  for (const std::string& name : AllIndexNames()) {
+    std::printf("%-10s", name.c_str());
+    for (double sigma : sigmas) {
+      const std::vector<Key> keys =
+          GenerateClusteredSkew(opt.scale, sigma, opt.seed);
+      const std::vector<KeyValue> data = ToKeyValues(keys);
+
+      std::unique_ptr<KvIndex> btree = MakeIndex("B+Tree");
+      btree->BulkLoad(data);
+      WorkloadGenerator gen_b(keys, opt.seed + 1);
+      const double btree_ns =
+          ReplayMeanNs(btree.get(), gen_b.ReadOnly(opt.ops));
+
+      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      index->BulkLoad(data);
+      WorkloadGenerator gen(keys, opt.seed + 1);
+      const double ns = ReplayMeanNs(index.get(), gen.ReadOnly(opt.ops));
+      std::printf("   %8.3f", ns / btree_ns);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: Chameleon column stays flat; others climb "
+              "with lsn\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 10: index construction time on the two real(-like)
+// datasets (OSMC, FACE).
+//
+// Expected shape: RL-driven construction (Chameleon, DIC) is slower than
+// the greedy indexes; DIC is the slowest (it invokes and trains an RL
+// agent per node), DILI is slow (two-phase BU+TD); construction time
+// grows with dataset size for everyone.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/util/timer.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::printf("=== Fig. 10: index construction time ===\n");
+  std::printf("%zu keys per dataset\n\n", opt.scale);
+
+  std::printf("%-10s %14s %14s\n", "index", "OSMC(ms)", "FACE(ms)");
+  PrintRule(44);
+  for (const std::string& name : AllIndexNames()) {
+    std::printf("%-10s", name.c_str());
+    for (DatasetKind kind : {DatasetKind::kOsmc, DatasetKind::kFace}) {
+      const std::vector<KeyValue> data =
+          ToKeyValues(GenerateDataset(kind, opt.scale, opt.seed));
+      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      Timer timer;
+      index->BulkLoad(data);
+      std::printf(" %14.1f", timer.ElapsedMillis());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: DIC slowest (per-node RL), Chameleon/DILI "
+              "slower than greedy indexes, RS/PGM fastest\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 11: throughput under mixed workloads with varying
+// read-write ratios (#writes / (#reads + #writes)). Paper initializes
+// 40M of 200M keys; we initialize scale/5 and grow from there. RS and
+// DIC are static-oriented and excluded, as in the paper.
+//
+// Expected shape: Chameleon leads on FACE/LOGN at every ratio and is
+// close to ALEX on UDEN/OSMC; its throughput does not degrade as the
+// write share grows.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const size_t init = opt.scale / 5;
+  const double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::printf("=== Fig. 11: throughput (Mops/s) vs read-write ratio ===\n");
+  std::printf("initialize %zu keys, %zu ops per point\n", init, opt.ops);
+
+  for (DatasetKind kind : kAllDatasets) {
+    std::printf("\n--- dataset %s ---\n",
+                std::string(DatasetName(kind)).c_str());
+    std::printf("%-10s", "index");
+    for (double r : ratios) std::printf(" %8.2f", r);
+    std::printf("\n");
+    PrintRule(70);
+    for (const std::string& name : UpdatableIndexNames()) {
+      std::printf("%-10s", name.c_str());
+      for (double r : ratios) {
+        const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
+        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        index->BulkLoad(ToKeyValues(keys));
+        WorkloadGenerator gen(keys, opt.seed + 1);
+        const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
+        std::printf(" %8.3f", ReplayThroughputMops(index.get(), ops));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape: Chameleon row highest on FACE/LOGN, flat "
+              "across ratios\n");
+  return 0;
+}

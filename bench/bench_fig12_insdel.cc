@@ -1,0 +1,50 @@
+// Reproduces Fig. 12: throughput under varying update ratios
+// (#insertions / (#insertions + #deletions)).
+//
+// Expected shape (paper Sec. VI-C2): slight improvement from ratio 0 to
+// ~0.25 for Chameleon/ALEX (deletions open gaps that absorb inserts),
+// then a slow decline as net growth skews the learned distributions;
+// Chameleon stays on top and degrades least.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const size_t init = opt.scale / 5;
+  const double ratios[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  std::printf("=== Fig. 12: throughput (Mops/s) vs insert-delete ratio ===\n");
+  std::printf("initialize %zu keys, %zu ops per point\n", init, opt.ops);
+
+  for (DatasetKind kind : kAllDatasets) {
+    std::printf("\n--- dataset %s ---\n",
+                std::string(DatasetName(kind)).c_str());
+    std::printf("%-10s", "index");
+    for (double r : ratios) std::printf(" %8.2f", r);
+    std::printf("\n");
+    PrintRule(60);
+    for (const std::string& name : UpdatableIndexNames()) {
+      std::printf("%-10s", name.c_str());
+      for (double r : ratios) {
+        const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
+        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        index->BulkLoad(ToKeyValues(keys));
+        WorkloadGenerator gen(keys, opt.seed + 1);
+        // Cap delete-heavy streams to the available pool.
+        const size_t n_ops =
+            r < 0.5 ? std::min(opt.ops, init * 3 / 4) : opt.ops;
+        const std::vector<Operation> ops = gen.InsertDelete(n_ops, r);
+        std::printf(" %8.3f", ReplayThroughputMops(index.get(), ops));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

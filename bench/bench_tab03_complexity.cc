@@ -1,0 +1,82 @@
+// Empirical companion to Table III (time-complexity analysis): Google
+// Benchmark microbenchmarks of point lookup and insert per index at a
+// fixed cardinality, validating the relative orderings the paper's
+// complexity table implies (Chameleon lookups ~O(H_C + 1), its updates
+// ~O(m*tau); B+Tree lookups pay log factors; LIPP/DILI updates pay
+// rebuild factors).
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/api/index_factory.h"
+#include "src/data/dataset.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace chameleon {
+namespace {
+
+constexpr size_t kN = 200'000;
+
+struct Fixture {
+  std::vector<Key> keys;
+  std::unique_ptr<KvIndex> index;
+
+  explicit Fixture(const std::string& name) {
+    keys = GenerateDataset(DatasetKind::kLogn, kN, 3);
+    index = MakeIndex(name);
+    index->BulkLoad(ToKeyValues(keys));
+  }
+};
+
+void BM_Lookup(benchmark::State& state, const std::string& name) {
+  static Fixture* fixture = nullptr;
+  static std::string cached_name;
+  if (fixture == nullptr || cached_name != name) {
+    delete fixture;
+    fixture = new Fixture(name);
+    cached_name = name;
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const Key k = fixture->keys[rng.NextBounded(fixture->keys.size())];
+    Value v;
+    benchmark::DoNotOptimize(fixture->index->Lookup(k, &v));
+  }
+}
+
+void BM_Insert(benchmark::State& state, const std::string& name) {
+  Fixture fixture(name);
+  WorkloadGenerator gen(fixture.keys, 11);
+  std::vector<Operation> ops = gen.InsertDelete(1 << 20, 1.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Operation& op = ops[i++ % ops.size()];
+    benchmark::DoNotOptimize(fixture.index->Insert(op.key, op.value));
+  }
+}
+
+int RegisterAll() {
+  for (const std::string& name : AllIndexNames()) {
+    benchmark::RegisterBenchmark(("Tab03/Lookup/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Lookup(s, name);
+                                 });
+  }
+  for (const std::string& name : UpdatableIndexNames()) {
+    benchmark::RegisterBenchmark(("Tab03/Insert/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Insert(s, name);
+                                 });
+  }
+  return 0;
+}
+
+const int kRegistered = RegisterAll();
+
+}  // namespace
+}  // namespace chameleon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#ifndef CHAMELEON_BENCH_BENCH_UTIL_H_
+#define CHAMELEON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/index_factory.h"
+#include "src/api/kv_index.h"
+#include "src/data/dataset.h"
+#include "src/util/timer.h"
+#include "src/workload/workload.h"
+
+namespace chameleon::bench {
+
+/// Common options for the figure/table harnesses. Every binary accepts:
+///   --scale=N      base dataset cardinality (default 200'000; the paper
+///                  uses 200M — results scale in shape, not absolutes)
+///   --ops=N        operations per measurement (default 100'000)
+///   --seed=N       RNG seed
+struct Options {
+  size_t scale = 200'000;
+  size_t ops = 100'000;
+  uint64_t seed = 42;
+
+  static Options Parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      unsigned long long v = 0;
+      if (std::sscanf(argv[i], "--scale=%llu", &v) == 1) {
+        opt.scale = v;
+      } else if (std::sscanf(argv[i], "--ops=%llu", &v) == 1) {
+        opt.ops = v;
+      } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
+        opt.seed = v;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("options: --scale=N --ops=N --seed=N\n");
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+};
+
+/// Replays `ops` against `index` and returns mean ns/op. Lookups verify
+/// hits (a miss aborts — the workload generator guarantees validity).
+inline double ReplayMeanNs(KvIndex* index, const std::vector<Operation>& ops) {
+  Timer timer;
+  size_t misses = 0;
+  for (const Operation& op : ops) {
+    switch (op.type) {
+      case OpType::kLookup: {
+        Value v;
+        misses += !index->Lookup(op.key, &v);
+        break;
+      }
+      case OpType::kInsert:
+        misses += !index->Insert(op.key, op.value);
+        break;
+      case OpType::kErase:
+        misses += !index->Erase(op.key);
+        break;
+    }
+  }
+  const double ns = timer.ElapsedNanos();
+  if (misses > 0) {
+    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n", misses,
+                 static_cast<int>(index->Name().size()),
+                 index->Name().data());
+  }
+  return ops.empty() ? 0.0 : ns / static_cast<double>(ops.size());
+}
+
+/// Mops/s for the same replay.
+inline double ReplayThroughputMops(KvIndex* index,
+                                   const std::vector<Operation>& ops) {
+  const double ns_per_op = ReplayMeanNs(index, ops);
+  return ns_per_op > 0.0 ? 1e3 / ns_per_op : 0.0;
+}
+
+inline double ToMiB(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace chameleon::bench
+
+#endif  // CHAMELEON_BENCH_BENCH_UTIL_H_

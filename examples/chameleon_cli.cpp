@@ -1,0 +1,171 @@
+// Interactive CLI around ChameleonIndex: load SOSD files or generate
+// synthetic data, run point/range operations, inspect the learned
+// structure, and control the background retrainer.
+//
+//   ./build/examples/chameleon_cli
+//   > gen face 100000
+//   > get 123456
+//   > put 42 7
+//   > scan 1000 2000
+//   > stats
+//   > retrainer on 100
+//   > help
+//
+// Also scriptable: echo -e "gen uden 10000\nstats" | chameleon_cli
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/chameleon_index.h"
+#include "src/data/dataset.h"
+#include "src/data/skew.h"
+#include "src/util/io.h"
+#include "src/util/timer.h"
+
+using namespace chameleon;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  gen <uden|osmc|logn|face> <n>   generate and bulk load\n"
+      "  load <path>                      bulk load a SOSD binary file\n"
+      "  get <key>                        point lookup\n"
+      "  put <key> <value>                insert\n"
+      "  del <key>                        erase\n"
+      "  scan <lo> <hi> [limit]           range scan (prints up to limit)\n"
+      "  stats                            structure + memory report\n"
+      "  retrainer <on [ms] | off | once> background retraining control\n"
+      "  help / quit\n");
+}
+
+DatasetKind KindFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "uden") return DatasetKind::kUden;
+  if (name == "osmc") return DatasetKind::kOsmc;
+  if (name == "logn") return DatasetKind::kLogn;
+  if (name == "face") return DatasetKind::kFace;
+  *ok = false;
+  return DatasetKind::kUden;
+}
+
+}  // namespace
+
+int main() {
+  ChameleonIndex index;
+  std::string line;
+  std::printf("chameleon> type 'help' for commands\n");
+  while (std::printf("chameleon> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "gen") {
+      std::string kind_name;
+      size_t n = 0;
+      in >> kind_name >> n;
+      bool ok = false;
+      const DatasetKind kind = KindFromName(kind_name, &ok);
+      if (!ok || n == 0) {
+        std::printf("usage: gen <uden|osmc|logn|face> <n>\n");
+        continue;
+      }
+      const std::vector<Key> keys = GenerateDataset(kind, n, 42);
+      Timer timer;
+      index.BulkLoad(ToKeyValues(keys));
+      std::printf("loaded %zu keys (lsn %.3f) in %.1f ms\n", n,
+                  LocalSkewness(keys), timer.ElapsedMillis());
+    } else if (cmd == "load") {
+      std::string path;
+      in >> path;
+      std::vector<Key> keys;
+      if (!ReadSosdFile(path, &keys)) {
+        std::printf("cannot read %s\n", path.c_str());
+        continue;
+      }
+      Timer timer;
+      index.BulkLoad(ToKeyValues(keys));
+      std::printf("loaded %zu keys from %s in %.1f ms\n", keys.size(),
+                  path.c_str(), timer.ElapsedMillis());
+    } else if (cmd == "get") {
+      Key k = 0;
+      in >> k;
+      Value v = 0;
+      Timer timer;
+      const bool found = index.Lookup(k, &v);
+      const double ns = static_cast<double>(timer.ElapsedNanos());
+      if (found) {
+        std::printf("%llu -> %llu (%.0f ns)\n",
+                    static_cast<unsigned long long>(k),
+                    static_cast<unsigned long long>(v), ns);
+      } else {
+        std::printf("%llu not found (%.0f ns)\n",
+                    static_cast<unsigned long long>(k), ns);
+      }
+    } else if (cmd == "put") {
+      Key k = 0;
+      Value v = 0;
+      in >> k >> v;
+      std::printf("%s\n", index.Insert(k, v) ? "ok" : "duplicate");
+    } else if (cmd == "del") {
+      Key k = 0;
+      in >> k;
+      std::printf("%s\n", index.Erase(k) ? "ok" : "not found");
+    } else if (cmd == "scan") {
+      Key lo = 0, hi = 0;
+      size_t limit = 10;
+      in >> lo >> hi >> limit;
+      std::vector<KeyValue> out;
+      const size_t n = index.RangeScan(lo, hi, &out);
+      std::printf("%zu keys in [%llu, %llu]\n", n,
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+      for (size_t i = 0; i < out.size() && i < limit; ++i) {
+        std::printf("  %llu -> %llu\n",
+                    static_cast<unsigned long long>(out[i].key),
+                    static_cast<unsigned long long>(out[i].value));
+      }
+      if (out.size() > limit) std::printf("  ... (%zu more)\n",
+                                          out.size() - limit);
+    } else if (cmd == "stats") {
+      const IndexStats s = index.Stats();
+      std::printf("keys: %zu | frame levels h: %d | units: %zu\n",
+                  index.size(), index.frame_levels(), index.num_units());
+      std::printf("height: max %d avg %.2f | EBH error: max %.0f avg %.2f\n",
+                  s.max_height, s.avg_height, s.max_error, s.avg_error);
+      std::printf("nodes: %zu | memory: %.2f MiB | retrains: %zu | "
+                  "shifts: %zu\n",
+                  s.num_nodes, index.SizeBytes() / 1024.0 / 1024.0,
+                  index.total_retrains(), index.total_shifts());
+    } else if (cmd == "retrainer") {
+      std::string mode;
+      in >> mode;
+      if (mode == "on") {
+        int ms = 1'000;
+        in >> ms;
+        index.StartRetrainer(std::chrono::milliseconds(ms));
+        std::printf("retrainer running every %d ms\n", ms);
+      } else if (mode == "off") {
+        index.StopRetrainer();
+        std::printf("retrainer stopped\n");
+      } else if (mode == "once") {
+        std::printf("rebuilt %zu units\n", index.RetrainOnce());
+      } else {
+        std::printf("usage: retrainer <on [ms] | off | once>\n");
+      }
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  index.StopRetrainer();
+  return 0;
+}

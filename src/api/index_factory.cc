@@ -1,0 +1,51 @@
+#include "src/api/index_factory.h"
+
+#include "src/baselines/alex/alex.h"
+#include "src/baselines/btree/btree.h"
+#include "src/baselines/dic/dic.h"
+#include "src/baselines/dili/dili.h"
+#include "src/baselines/finedex/finedex.h"
+#include "src/baselines/lipp/lipp.h"
+#include "src/baselines/pgm/pgm.h"
+#include "src/baselines/radixspline/radix_spline.h"
+#include "src/core/chameleon_index.h"
+
+namespace chameleon {
+
+std::vector<std::string> AllIndexNames() {
+  return {"B+Tree", "DIC",     "RS",   "PGM",   "ALEX",
+          "LIPP",   "DILI",    "FINEdex", "ChaB", "ChaDA", "Chameleon"};
+}
+
+std::vector<std::string> UpdatableIndexNames() {
+  return {"B+Tree", "PGM", "ALEX", "LIPP", "DILI", "FINEdex", "Chameleon"};
+}
+
+std::unique_ptr<KvIndex> MakeIndex(std::string_view name) {
+  if (name == "B+Tree") return std::make_unique<BPlusTree>();
+  if (name == "DIC") return std::make_unique<DicIndex>();
+  if (name == "RS") return std::make_unique<RadixSpline>();
+  if (name == "PGM") return std::make_unique<PgmIndex>();
+  if (name == "ALEX") return std::make_unique<AlexIndex>();
+  if (name == "LIPP") return std::make_unique<LippIndex>();
+  if (name == "DILI") return std::make_unique<DiliIndex>();
+  if (name == "FINEdex") return std::make_unique<FinedexIndex>();
+  if (name == "ChaB") {
+    ChameleonConfig config;
+    config.mode = ChameleonMode::kEbhOnly;
+    return std::make_unique<ChameleonIndex>(config);
+  }
+  if (name == "ChaDA") {
+    ChameleonConfig config;
+    config.mode = ChameleonMode::kDare;
+    return std::make_unique<ChameleonIndex>(config);
+  }
+  if (name == "Chameleon" || name == "ChaDATS") {
+    ChameleonConfig config;
+    config.mode = ChameleonMode::kFull;
+    return std::make_unique<ChameleonIndex>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,27 @@
+#ifndef CHAMELEON_API_INDEX_FACTORY_H_
+#define CHAMELEON_API_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// Names accepted by MakeIndex. "Chameleon" is the full system
+/// (ChaDATS); "ChaB"/"ChaDA" are the paper's ablations (Table V).
+std::vector<std::string> AllIndexNames();
+
+/// Indexes that support efficient updates (the paper drops RS and DIC
+/// from mixed-workload experiments; Sec. VI-C).
+std::vector<std::string> UpdatableIndexNames();
+
+/// Creates an index by name with the default configuration used across
+/// the benchmarks; returns nullptr for unknown names.
+std::unique_ptr<KvIndex> MakeIndex(std::string_view name);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_API_INDEX_FACTORY_H_

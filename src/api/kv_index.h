@@ -1,0 +1,74 @@
+#ifndef CHAMELEON_API_KV_INDEX_H_
+#define CHAMELEON_API_KV_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// Structural statistics reported by every index, used to reproduce the
+/// paper's Table V (MaxHeight / MaxError / AvgHeight / AvgError / #Nodes).
+struct IndexStats {
+  /// Deepest leaf level (root = level 1).
+  int max_height = 0;
+  /// Key-count-weighted average leaf depth.
+  double avg_height = 0.0;
+  /// Largest model prediction error (slots/positions) over all leaves.
+  double max_error = 0.0;
+  /// Key-count-weighted average prediction error.
+  double avg_error = 0.0;
+  /// Total node count (inner + leaf).
+  size_t num_nodes = 0;
+};
+
+/// Common interface implemented by Chameleon and all eight baseline
+/// indexes so the test harness and every benchmark can sweep index
+/// implementations uniformly.
+///
+/// Contract:
+///  * `BulkLoad` is called at most once, before any other operation, with
+///    keys sorted ascending and strictly unique.
+///  * Keys are unique: `Insert` of a present key returns false and leaves
+///    the index unchanged.
+///  * `RangeScan` returns pairs with keys in [lo, hi], sorted ascending.
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  /// Builds the index over sorted unique `data`.
+  virtual void BulkLoad(std::span<const KeyValue> data) = 0;
+
+  /// Point lookup. On success stores the payload in `*value` (if non-null)
+  /// and returns true.
+  virtual bool Lookup(Key key, Value* value) const = 0;
+
+  /// Inserts a new pair; returns false if `key` already present.
+  virtual bool Insert(Key key, Value value) = 0;
+
+  /// Removes `key`; returns false if absent.
+  virtual bool Erase(Key key) = 0;
+
+  /// Appends all pairs with key in [lo, hi] to `*out` in ascending key
+  /// order; returns the number appended.
+  virtual size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const = 0;
+
+  /// Number of keys currently stored.
+  virtual size_t size() const = 0;
+
+  /// Approximate total memory footprint in bytes (structures + payloads).
+  virtual size_t SizeBytes() const = 0;
+
+  /// Structural statistics (Table V).
+  virtual IndexStats Stats() const = 0;
+
+  /// Short display name ("ALEX", "Chameleon", ...).
+  virtual std::string_view Name() const = 0;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_API_KV_INDEX_H_

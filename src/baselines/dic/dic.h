@@ -1,0 +1,74 @@
+#ifndef CHAMELEON_BASELINES_DIC_DIC_H_
+#define CHAMELEON_BASELINES_DIC_DIC_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/api/kv_index.h"
+#include "src/rl/dqn.h"
+
+namespace chameleon {
+
+/// DIC baseline (Wu et al., Data Sci. Eng. 2022): dynamic index
+/// construction with deep reinforcement learning — an RL agent picks,
+/// node by node, how to combine traditional index structures.
+///
+/// Per the paper's Table I: top-down construction driven by RL; nodes
+/// are either partitions (fanout chosen by the agent) or terminal
+/// structures chosen between a sorted array with binary search and a
+/// hash table. The agent is a DQN invoked *per node* with online
+/// training steps during construction, which is exactly why DIC is the
+/// slowest index to build in the paper's Fig. 10.
+///
+/// DIC targets static workloads (the paper drops it from update
+/// experiments); updates here go through a delta buffer + tombstones
+/// with threshold-triggered full reconstruction.
+class DicIndex final : public KvIndex {
+ public:
+  struct Config {
+    size_t leaf_max = 256;         // below this a terminal node is forced
+    int train_steps_per_node = 8;  // online DQN steps per construction node
+    uint64_t seed = 99;
+  };
+
+  DicIndex();
+  explicit DicIndex(Config config);
+  ~DicIndex() override;
+
+  DicIndex(const DicIndex&) = delete;
+  DicIndex& operator=(const DicIndex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "DIC"; }
+
+ private:
+  struct Node;
+
+  std::unique_ptr<Node> BuildNode(std::span<const KeyValue> data, Key lo,
+                                  Key hi, int depth,
+                                  std::vector<float>* state_out);
+  void Rebuild();
+
+  Config config_;
+  std::unique_ptr<TreeDqn> agent_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+
+  std::vector<KeyValue> data_;          // master sorted run
+  std::vector<KeyValue> delta_;         // sorted insert buffer
+  std::unordered_set<Key> tombstones_;  // erased master keys
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_BASELINES_DIC_DIC_H_

@@ -1,0 +1,142 @@
+#include "src/baselines/dili/dili.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace chameleon {
+namespace {
+
+/// Bottom-up phase: shrinking-cone segmentation; returns the start index
+/// of each segment (first entry is always 0).
+std::vector<size_t> SegmentStarts(std::span<const KeyValue> data,
+                                  size_t epsilon) {
+  std::vector<size_t> starts;
+  const size_t n = data.size();
+  if (n == 0) return starts;
+  starts.push_back(0);
+  const double eps = static_cast<double>(epsilon);
+  size_t anchor = 0;
+  double slope_lo = 0.0;
+  double slope_hi = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < n; ++i) {
+    const double dx = static_cast<double>(data[i].key) -
+                      static_cast<double>(data[anchor].key);
+    if (dx <= 0.0) continue;
+    const double dy = static_cast<double>(i - anchor);
+    const double lo = (dy - eps) / dx;
+    const double hi = (dy + eps) / dx;
+    const double new_lo = std::max(slope_lo, lo);
+    const double new_hi = std::min(slope_hi, hi);
+    if (new_lo <= new_hi) {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+    } else {
+      starts.push_back(i);
+      anchor = i;
+      slope_lo = 0.0;
+      slope_hi = std::numeric_limits<double>::infinity();
+    }
+  }
+  return starts;
+}
+
+}  // namespace
+
+DiliIndex::DiliIndex() : DiliIndex(Config{}) {}
+
+DiliIndex::DiliIndex(Config config) : config_(config) {
+  children_.push_back(std::make_unique<LippIndex>());
+}
+
+void DiliIndex::BulkLoad(std::span<const KeyValue> data) {
+  boundaries_.clear();
+  children_.clear();
+  size_ = data.size();
+  if (data.empty()) {
+    children_.push_back(std::make_unique<LippIndex>());
+    return;
+  }
+
+  // BU phase.
+  const std::vector<size_t> seg_starts = SegmentStarts(data, config_.epsilon);
+  // TD phase: group segments into children with balanced segment counts.
+  const size_t num_children = std::min(
+      config_.max_fanout,
+      std::max<size_t>(1, (seg_starts.size() + config_.segments_per_child - 1) /
+                              config_.segments_per_child));
+  const size_t segs_per_child =
+      (seg_starts.size() + num_children - 1) / num_children;
+
+  size_t seg = 0;
+  while (seg < seg_starts.size()) {
+    const size_t first = seg_starts[seg];
+    const size_t next_seg = std::min(seg_starts.size(), seg + segs_per_child);
+    const size_t last =
+        next_seg < seg_starts.size() ? seg_starts[next_seg] : data.size();
+    auto child = std::make_unique<LippIndex>();
+    child->BulkLoad(data.subspan(first, last - first));
+    if (!children_.empty()) boundaries_.push_back(data[first].key);
+    children_.push_back(std::move(child));
+    seg = next_seg;
+  }
+}
+
+size_t DiliIndex::ChildFor(Key key) const {
+  return std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
+         boundaries_.begin();
+}
+
+bool DiliIndex::Lookup(Key key, Value* value) const {
+  return children_[ChildFor(key)]->Lookup(key, value);
+}
+
+bool DiliIndex::Insert(Key key, Value value) {
+  if (!children_[ChildFor(key)]->Insert(key, value)) return false;
+  ++size_;
+  return true;
+}
+
+bool DiliIndex::Erase(Key key) {
+  if (!children_[ChildFor(key)]->Erase(key)) return false;
+  --size_;
+  return true;
+}
+
+size_t DiliIndex::RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const {
+  size_t count = 0;
+  const size_t first = ChildFor(lo);
+  const size_t last = ChildFor(hi);
+  for (size_t c = first; c <= last && c < children_.size(); ++c) {
+    count += children_[c]->RangeScan(lo, hi, out);
+  }
+  return count;
+}
+
+size_t DiliIndex::SizeBytes() const {
+  size_t bytes = sizeof(DiliIndex) + boundaries_.capacity() * sizeof(Key) +
+                 children_.capacity() * sizeof(void*);
+  for (const auto& c : children_) bytes += c->SizeBytes();
+  return bytes;
+}
+
+IndexStats DiliIndex::Stats() const {
+  IndexStats stats;
+  stats.num_nodes = 1;  // the TD root
+  double weighted_height = 0.0;
+  size_t keys = 0;
+  for (const auto& c : children_) {
+    const IndexStats s = c->Stats();
+    stats.num_nodes += s.num_nodes;
+    stats.max_height = std::max(stats.max_height, s.max_height + 1);
+    weighted_height +=
+        (s.avg_height + 1.0) * static_cast<double>(c->size());
+    keys += c->size();
+  }
+  stats.avg_height = keys > 0 ? weighted_height / keys : stats.max_height;
+  stats.max_error = 0.0;  // exact-position leaves
+  stats.avg_error = 0.0;
+  return stats;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,60 @@
+#ifndef CHAMELEON_BASELINES_DILI_DILI_H_
+#define CHAMELEON_BASELINES_DILI_DILI_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/api/kv_index.h"
+#include "src/baselines/lipp/lipp.h"
+
+namespace chameleon {
+
+/// DILI baseline (Li et al., VLDB 2023): a distribution-driven learned
+/// index built in two phases (the paper's "BU+TD" row in Table I):
+///
+///  1. Bottom-up: a greedy epsilon-bounded piecewise-linear segmentation
+///     (PGM-like) of the data discovers the local densities / natural
+///     leaf boundaries.
+///  2. Top-down: an inner level partitions the key space at segment
+///     boundaries so each child receives a balanced number of BU
+///     segments; children are exact-position (LIPP-style) subtrees, so
+///     leaf prediction error is 0 and skewed regions split downward —
+///     reproducing DILI's Table V profile (MaxError 0, deep trees and
+///     very high node counts under local skew).
+class DiliIndex final : public KvIndex {
+ public:
+  struct Config {
+    size_t epsilon = 64;           // BU segmentation error bound
+    size_t segments_per_child = 64;
+    size_t max_fanout = 4096;
+  };
+
+  DiliIndex();
+  explicit DiliIndex(Config config);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "DILI"; }
+
+ private:
+  size_t ChildFor(Key key) const;
+
+  Config config_;
+  size_t size_ = 0;
+  // children_[i] covers [boundaries_[i-1], boundaries_[i]) with
+  // boundaries_[-1] = -inf, boundaries_[children_.size()-1] = +inf.
+  std::vector<Key> boundaries_;  // size = children_.size() - 1
+  std::vector<std::unique_ptr<LippIndex>> children_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_BASELINES_DILI_DILI_H_

@@ -1,0 +1,75 @@
+#ifndef CHAMELEON_BASELINES_FINEDEX_FINEDEX_H_
+#define CHAMELEON_BASELINES_FINEDEX_FINEDEX_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// FINEdex baseline (Li et al., VLDB 2021): a *flattened* learned index —
+/// no deep tree, just a top layer locating one of many independent
+/// fine-grained groups, each with its own linear model over a sorted
+/// array plus "level bins" that absorb inserts out of place.
+///
+/// Reproduced mechanisms:
+///  * independent per-group linear models over sorted runs;
+///  * level-bin inserts: each group has a sorted bin; lookups must check
+///    the bin after the model-guided search (the "level bin scan"
+///    weakness the paper's Table I cites);
+///  * bin overflow triggers a local, group-only retrain (merge + split),
+///    which is what keeps FINEdex retraining non-blocking in spirit —
+///    only one group is ever rebuilt at a time.
+///
+/// The top layer here is a binary search over group first-keys; real
+/// FINEdex trains models for this too, which changes constants only.
+class FinedexIndex final : public KvIndex {
+ public:
+  struct Config {
+    size_t group_size = 256;   // target keys per group at (re)build
+    size_t bin_capacity = 64;  // level-bin size before merge
+  };
+
+  FinedexIndex();
+  explicit FinedexIndex(Config config);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "FINEdex"; }
+
+  /// Number of group retrains (bin merges) since bulk load; used by the
+  /// retraining-time bench (Fig. 14).
+  size_t total_retrains() const { return total_retrains_; }
+
+ private:
+  struct Group {
+    Key first_key = 0;
+    std::vector<KeyValue> run;  // sorted main run
+    std::vector<KeyValue> bin;  // sorted level bin (inserts)
+    double slope = 0.0;         // rank ~ slope * (key - first_key)
+    size_t max_error = 0;       // model error bound on `run`
+
+    void Train();
+    const KeyValue* FindInRun(Key key) const;
+  };
+
+  size_t GroupFor(Key key) const;
+  void MergeGroup(size_t gi);
+
+  Config config_;
+  size_t size_ = 0;
+  size_t total_retrains_ = 0;
+  std::vector<Group> groups_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_BASELINES_FINEDEX_FINEDEX_H_

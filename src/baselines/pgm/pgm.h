@@ -1,0 +1,91 @@
+#ifndef CHAMELEON_BASELINES_PGM_PGM_H_
+#define CHAMELEON_BASELINES_PGM_PGM_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// PGM-index baseline (Ferragina & Vinciguerra, VLDB 2020).
+///
+/// Static structure: bottom-up recursion of epsilon-bounded piecewise
+/// linear models. Level 0 segments approximate (key -> rank) over the
+/// data; level i+1 segments approximate the first-keys of level i's
+/// segments, until a single root segment remains. A query descends from
+/// the root, at each level predicting a position and binary-searching a
+/// +-epsilon window.
+///
+/// Dynamic structure (the paper's out-of-place update strategy): the
+/// logarithmic method — an insert buffer plus a sequence of static PGM
+/// components of geometrically growing capacity. Inserts fill the buffer;
+/// overflow merges down with tombstone-based deletion, rebuilding the
+/// affected component's models.
+class PgmIndex final : public KvIndex {
+ public:
+  /// `epsilon` is the per-level model error bound (PGM's default is 64
+  /// for the leaf level); `buffer_capacity` the delta-buffer size.
+  explicit PgmIndex(size_t epsilon = 64, size_t buffer_capacity = 256);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "PGM"; }
+
+  // Implementation types are public so the .cc's free helper functions
+  // can operate on them; they are not part of the supported API.
+  struct Entry {
+    Key key;
+    Value value;
+    bool tombstone = false;
+  };
+
+  /// One epsilon-bounded linear segment: predicts
+  /// pos ~ intercept + slope * (key - first_key) for keys in
+  /// [first_key, next segment's first_key).
+  struct Segment {
+    Key first_key;
+    double slope;
+    double intercept;
+  };
+
+  /// A static PGM over one sorted run of entries.
+  struct Component {
+    std::vector<Entry> entries;
+    std::vector<std::vector<Segment>> levels;  // levels[0] over entries
+
+    bool empty() const { return entries.empty(); }
+    void Build(size_t epsilon);
+    /// Finds key; returns pointer to the entry (may be a tombstone), or
+    /// nullptr when the component has no record of the key.
+    const Entry* Find(Key key, size_t epsilon) const;
+  };
+
+ private:
+  /// Finds the newest record of `key` across buffer and components.
+  const Entry* FindNewest(Key key) const;
+  /// Inserts a record (real or tombstone) into the buffer, cascading
+  /// merges on overflow.
+  void Push(Entry e);
+  static std::vector<Entry> MergeRuns(const std::vector<Entry>& newer,
+                                      const std::vector<Entry>& older,
+                                      bool keep_tombstones);
+
+  size_t epsilon_;
+  size_t buffer_capacity_;
+  size_t size_ = 0;
+  std::vector<Entry> buffer_;           // sorted, newest data
+  std::vector<Component> components_;   // components_[i] capacity ~ B*2^i
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_BASELINES_PGM_PGM_H_

@@ -1,0 +1,257 @@
+#include "src/baselines/radixspline/radix_spline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace chameleon {
+
+RadixSpline::RadixSpline(size_t epsilon, size_t radix_bits)
+    : epsilon_(std::max<size_t>(1, epsilon)),
+      radix_bits_(std::min<size_t>(24, std::max<size_t>(4, radix_bits))) {}
+
+void RadixSpline::BulkLoad(std::span<const KeyValue> data) {
+  data_.assign(data.begin(), data.end());
+  delta_.clear();
+  tombstones_.clear();
+  size_ = data_.size();
+  BuildSpline();
+  BuildRadixTable();
+}
+
+void RadixSpline::BuildSpline() {
+  spline_.clear();
+  const size_t n = data_.size();
+  if (n == 0) return;
+  spline_.push_back({data_.front().key, 0.0});
+  if (n == 1) return;
+
+  // Greedy corridor: extend the current spline segment while there is a
+  // line from the anchor that keeps every point within +-epsilon. Knot
+  // ranks are *fractional*: each knot lies exactly on the midpoint-slope
+  // line of its segment's final corridor, so interpolating between
+  // consecutive knots reproduces that line and the epsilon guarantee
+  // holds for every data point (emitting the point's exact rank instead
+  // would not — the chord to it can leave the corridor).
+  const double eps = static_cast<double>(epsilon_);
+  double anchor_key = static_cast<double>(data_.front().key);
+  double anchor_rank = 0.0;
+  double slope_lo = 0.0;
+  double slope_hi = std::numeric_limits<double>::infinity();
+  double last_key = anchor_key;  // last point that fit the corridor
+  double last_dx = 0.0;
+
+  for (size_t i = 1; i < n; ++i) {
+    const double key = static_cast<double>(data_[i].key);
+    const double dx = key - anchor_key;
+    if (dx <= 0.0) continue;
+    const double dy = static_cast<double>(i) - anchor_rank;
+    const double lo = (dy - eps) / dx;
+    const double hi = (dy + eps) / dx;
+    const double new_lo = std::max(slope_lo, lo);
+    const double new_hi = std::min(slope_hi, hi);
+    if (new_lo <= new_hi) {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+      last_key = key;
+      last_dx = dx;
+      continue;
+    }
+    // Close the segment: knot at the last fitting key, on the
+    // midpoint-slope line.
+    const double s = (slope_lo + slope_hi) / 2.0;
+    const double knot_rank = anchor_rank + s * last_dx;
+    spline_.push_back({static_cast<Key>(last_key), knot_rank});
+    anchor_key = last_key;
+    anchor_rank = knot_rank;
+    slope_lo = 0.0;
+    slope_hi = std::numeric_limits<double>::infinity();
+    last_dx = 0.0;
+    --i;  // re-process point i against the new anchor
+  }
+  // Final knot at the last key.
+  if (last_dx > 0.0) {
+    const double s = slope_hi == std::numeric_limits<double>::infinity()
+                         ? 0.0
+                         : (slope_lo + slope_hi) / 2.0;
+    spline_.push_back({static_cast<Key>(last_key), anchor_rank + s * last_dx});
+  }
+  if (spline_.back().key != data_.back().key) {
+    spline_.push_back({data_.back().key, static_cast<double>(n - 1)});
+  }
+}
+
+void RadixSpline::BuildRadixTable() {
+  radix_table_.clear();
+  if (data_.empty()) return;
+  min_key_ = data_.front().key;
+  const Key range = data_.back().key - min_key_;
+  int significant = 1;
+  while (significant < 64 && (range >> significant) != 0) ++significant;
+  shift_ = std::max(0, significant - static_cast<int>(radix_bits_));
+
+  const size_t table_size = (static_cast<size_t>(range >> shift_)) + 2;
+  radix_table_.assign(table_size + 1, 0);
+  // radix_table_[p] = first spline index whose prefix >= p.
+  size_t spline_idx = 0;
+  for (size_t p = 0; p < table_size + 1; ++p) {
+    while (spline_idx < spline_.size() &&
+           ((spline_[spline_idx].key - min_key_) >> shift_) < p) {
+      ++spline_idx;
+    }
+    radix_table_[p] = static_cast<uint32_t>(spline_idx);
+  }
+}
+
+size_t RadixSpline::PredictRank(Key key) const {
+  const size_t n = data_.size();
+  if (key <= min_key_) return 0;
+  const size_t prefix = static_cast<size_t>((key - min_key_) >> shift_);
+  size_t begin = 0, end = spline_.size();
+  if (prefix + 1 < radix_table_.size()) {
+    begin = radix_table_[prefix];
+    end = radix_table_[prefix + 1] + 1;
+    end = std::min(end, spline_.size());
+  }
+  // First spline point with key >= `key` inside [begin, end).
+  auto it = std::lower_bound(
+      spline_.begin() + begin, spline_.begin() + end, key,
+      [](const SplinePoint& p, Key k) { return p.key < k; });
+  if (it == spline_.end()) return n - 1;
+  if (it == spline_.begin()) return 0;
+  const SplinePoint& right = *it;
+  const SplinePoint& left = *(it - 1);
+  const double dx = static_cast<double>(right.key) -
+                    static_cast<double>(left.key);
+  if (dx <= 0.0) return static_cast<size_t>(left.rank);
+  const double frac = (static_cast<double>(key) -
+                       static_cast<double>(left.key)) / dx;
+  const double pred = left.rank + frac * (right.rank - left.rank);
+  if (pred <= 0.0) return 0;
+  const size_t p = static_cast<size_t>(pred);
+  return p >= n ? n - 1 : p;
+}
+
+bool RadixSpline::LookupMain(Key key, Value* value) const {
+  if (data_.empty() || key < data_.front().key || key > data_.back().key) {
+    return false;
+  }
+  const size_t hint = PredictRank(key);
+  const size_t lo = hint > epsilon_ ? hint - epsilon_ : 0;
+  const size_t hi = std::min(data_.size(), hint + epsilon_ + 2);
+  auto it = std::lower_bound(
+      data_.begin() + lo, data_.begin() + hi, key,
+      [](const KeyValue& kv, Key k) { return kv.key < k; });
+  if (it != data_.begin() + hi && it->key == key) {
+    if (value != nullptr) *value = it->value;
+    return true;
+  }
+  return false;
+}
+
+bool RadixSpline::Lookup(Key key, Value* value) const {
+  if (tombstones_.contains(key)) return false;
+  auto it = std::lower_bound(delta_.begin(), delta_.end(), key,
+                             [](const KeyValue& kv, Key k) { return kv.key < k; });
+  if (it != delta_.end() && it->key == key) {
+    if (value != nullptr) *value = it->value;
+    return true;
+  }
+  return LookupMain(key, value);
+}
+
+void RadixSpline::Rebuild() {
+  std::vector<KeyValue> merged;
+  merged.reserve(data_.size() + delta_.size());
+  size_t i = 0, j = 0;
+  while (i < data_.size() || j < delta_.size()) {
+    if (j >= delta_.size() ||
+        (i < data_.size() && data_[i].key < delta_[j].key)) {
+      if (!tombstones_.contains(data_[i].key)) merged.push_back(data_[i]);
+      ++i;
+    } else {
+      merged.push_back(delta_[j]);
+      ++j;
+    }
+  }
+  data_ = std::move(merged);
+  delta_.clear();
+  tombstones_.clear();
+  BuildSpline();
+  BuildRadixTable();
+}
+
+bool RadixSpline::Insert(Key key, Value value) {
+  if (Lookup(key, nullptr)) return false;
+  tombstones_.erase(key);  // re-inserting an erased main-run key
+  auto it = std::lower_bound(delta_.begin(), delta_.end(), key,
+                             [](const KeyValue& kv, Key k) { return kv.key < k; });
+  delta_.insert(it, {key, value});
+  ++size_;
+  if (delta_.size() > std::max<size_t>(1024, data_.size() / 16)) Rebuild();
+  return true;
+}
+
+bool RadixSpline::Erase(Key key) {
+  auto it = std::lower_bound(delta_.begin(), delta_.end(), key,
+                             [](const KeyValue& kv, Key k) { return kv.key < k; });
+  if (it != delta_.end() && it->key == key) {
+    delta_.erase(it);
+    --size_;
+    return true;
+  }
+  if (tombstones_.contains(key)) return false;
+  if (!LookupMain(key, nullptr)) return false;
+  tombstones_.insert(key);
+  --size_;
+  return true;
+}
+
+size_t RadixSpline::RangeScan(Key lo, Key hi,
+                              std::vector<KeyValue>* out) const {
+  // Merge the main run (minus tombstones) with the delta buffer.
+  auto mi = std::lower_bound(data_.begin(), data_.end(), lo,
+                             [](const KeyValue& kv, Key k) { return kv.key < k; });
+  auto di = std::lower_bound(delta_.begin(), delta_.end(), lo,
+                             [](const KeyValue& kv, Key k) { return kv.key < k; });
+  size_t count = 0;
+  while (true) {
+    const bool m_ok = mi != data_.end() && mi->key <= hi;
+    const bool d_ok = di != delta_.end() && di->key <= hi;
+    if (!m_ok && !d_ok) break;
+    if (m_ok && (!d_ok || mi->key <= di->key)) {
+      if (!tombstones_.contains(mi->key)) {
+        out->push_back(*mi);
+        ++count;
+      }
+      ++mi;
+    } else {
+      out->push_back(*di);
+      ++count;
+      ++di;
+    }
+  }
+  return count;
+}
+
+size_t RadixSpline::SizeBytes() const {
+  return sizeof(RadixSpline) + data_.capacity() * sizeof(KeyValue) +
+         spline_.capacity() * sizeof(SplinePoint) +
+         radix_table_.capacity() * sizeof(uint32_t) +
+         delta_.capacity() * sizeof(KeyValue) +
+         tombstones_.size() * sizeof(Key) * 2;
+}
+
+IndexStats RadixSpline::Stats() const {
+  IndexStats stats;
+  // Radix table -> spline layer -> data: constant height.
+  stats.max_height = 2;
+  stats.avg_height = 2.0;
+  stats.max_error = static_cast<double>(epsilon_);
+  stats.avg_error = static_cast<double>(epsilon_) / 2.0;
+  stats.num_nodes = spline_.size() + 1;
+  return stats;
+}
+
+}  // namespace chameleon

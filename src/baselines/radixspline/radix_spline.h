@@ -1,0 +1,69 @@
+#ifndef CHAMELEON_BASELINES_RADIXSPLINE_RADIX_SPLINE_H_
+#define CHAMELEON_BASELINES_RADIXSPLINE_RADIX_SPLINE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// RadixSpline baseline (Kipf et al., aiDM@SIGMOD 2020): a single-pass
+/// error-bounded greedy spline over the key CDF, indexed by a radix
+/// table over key prefix bits.
+///
+/// Lookup: radix table narrows to a spline-point range, binary search
+/// finds the surrounding spline knots, linear interpolation predicts the
+/// rank, and a +-epsilon window of the data is binary searched.
+///
+/// RS is a static index (the paper drops it from update experiments); to
+/// satisfy the common KvIndex contract, updates go to a sorted delta
+/// buffer with tombstones and trigger a full rebuild when the delta
+/// exceeds a fraction of the data — correct, but not update-optimized.
+class RadixSpline final : public KvIndex {
+ public:
+  explicit RadixSpline(size_t epsilon = 32, size_t radix_bits = 18);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "RS"; }
+
+ private:
+  struct SplinePoint {
+    Key key;
+    double rank;
+  };
+
+  void Rebuild();
+  void BuildSpline();
+  void BuildRadixTable();
+  /// Rank prediction for `key` within data_ (clamped).
+  size_t PredictRank(Key key) const;
+  bool LookupMain(Key key, Value* value) const;
+
+  size_t epsilon_;
+  size_t radix_bits_;
+  size_t size_ = 0;
+
+  std::vector<KeyValue> data_;           // sorted main run
+  std::vector<SplinePoint> spline_;
+  std::vector<uint32_t> radix_table_;    // prefix -> first spline index
+  Key min_key_ = 0;
+  int shift_ = 0;                        // bits to shift (key - min) right
+
+  std::vector<KeyValue> delta_;          // sorted insert buffer
+  std::unordered_set<Key> tombstones_;   // erased keys in the main run
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_BASELINES_RADIXSPLINE_RADIX_SPLINE_H_

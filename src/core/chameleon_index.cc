@@ -1,0 +1,623 @@
+#include "src/core/chameleon_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace chameleon {
+namespace {
+
+/// Slope of Eq. 1: f / (uk - lk). Cached in nodes; build-time
+/// partitioning and query-time descent must use the *same* expression so
+/// boundary keys can never route differently.
+double Eq1Slope(Key lk, Key uk, size_t fanout) {
+  const double width = static_cast<double>(uk) - static_cast<double>(lk);
+  return width > 0.0 ? static_cast<double>(fanout) / width : 0.0;
+}
+
+/// Eq. 1: ID(k) = slope * (k - lk), clamped into [0, f).
+size_t Eq1ChildIndex(Key lk, Key uk, double slope, size_t fanout, Key key) {
+  if (fanout <= 1) return 0;
+  if (key <= lk) return 0;
+  if (key >= uk) return fanout - 1;
+  const size_t idx = static_cast<size_t>(
+      slope * (static_cast<double>(key) - static_cast<double>(lk)));
+  return idx >= fanout ? fanout - 1 : idx;
+}
+
+size_t LinearChildIndex(Key lk, Key uk, size_t fanout, Key key) {
+  return Eq1ChildIndex(lk, uk, Eq1Slope(lk, uk, fanout), fanout, key);
+}
+
+Key ChildLowerBound(Key lk, Key uk, size_t fanout, size_t idx) {
+  if (idx == 0) return lk;
+  const double width =
+      (static_cast<double>(uk) - static_cast<double>(lk)) /
+      static_cast<double>(fanout);
+  return lk + static_cast<Key>(width * static_cast<double>(idx));
+}
+
+std::vector<Key> KeysOf(std::span<const KeyValue> data) {
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (const KeyValue& kv : data) keys.push_back(kv.key);
+  return keys;
+}
+
+}  // namespace
+
+size_t ChameleonIndex::SubNode::ChildIndex(Key key) const {
+  return Eq1ChildIndex(lk, uk, slope, children.size(), key);
+}
+
+size_t ChameleonIndex::FrameNode::ChildIndex(Key key) const {
+  return Eq1ChildIndex(lk, uk, slope, fanout(), key);
+}
+
+ChameleonIndex::ChameleonIndex() : ChameleonIndex(ChameleonConfig{}) {}
+
+ChameleonIndex::ChameleonIndex(ChameleonConfig config)
+    : config_(std::move(config)) {
+  TsmdpConfig tc = config_.tsmdp;
+  tc.tau = config_.tau;
+  tc.w_time = config_.w_time;
+  tc.w_mem = config_.w_mem;
+  tc.seed = config_.seed ^ 0x75C3;
+  tsmdp_ = std::make_unique<TsmdpAgent>(tc);
+
+  DareConfig dc = config_.dare;
+  dc.tau = config_.tau;
+  dc.w_time = config_.w_time;
+  dc.w_mem = config_.w_mem;
+  dc.seed = config_.seed ^ 0x11D4;
+  dc.target_leaf_keys = config_.target_leaf_keys;
+  dc.assume_refinement = (config_.mode == ChameleonMode::kFull);
+  dare_ = std::make_unique<DareAgent>(dc);
+
+  BulkLoad({});
+}
+
+ChameleonIndex::~ChameleonIndex() { StopRetrainer(); }
+
+std::string_view ChameleonIndex::Name() const {
+  switch (config_.mode) {
+    case ChameleonMode::kEbhOnly: return "ChaB";
+    case ChameleonMode::kDare: return "ChaDA";
+    case ChameleonMode::kFull: return "Chameleon";
+  }
+  return "Chameleon";
+}
+
+// --- Construction -----------------------------------------------------------
+
+size_t ChameleonIndex::FrameFanoutFor(const FrameNode& node, int level,
+                                      size_t n) const {
+  constexpr size_t kMaxRoot = size_t{1} << 20;
+  constexpr size_t kMaxInner = size_t{1} << 10;
+  if (config_.mode == ChameleonMode::kEbhOnly) {
+    // Greedy fixed-policy frame (no RL): size the unit count so units
+    // hold ~16x the target leaf population, spread over h-1 levels.
+    const size_t units_needed = std::max<size_t>(
+        1, n / std::max<size_t>(1, config_.target_leaf_keys * 16));
+    if (h_ == 2 || level == h_ - 1) {
+      // Last frame level: whatever remains of the per-branch unit share.
+      if (level == 1) return std::min(units_needed, kMaxRoot);
+      const size_t per_branch = std::max<size_t>(
+          1, n / std::max<size_t>(1, config_.target_leaf_keys * 16));
+      return std::min(per_branch, kMaxInner);
+    }
+    // Upper level of an h=3 frame.
+    const size_t root = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(units_needed))));
+    return std::min(std::max<size_t>(1, root), kMaxRoot);
+  }
+  // DARE-driven frame.
+  if (level == 1) return std::min(dare_params_.root_fanout, kMaxRoot);
+  return DareAgent::InterpolatedFanout(dare_params_,
+                                       static_cast<size_t>(level - 2),
+                                       node.lk, node.uk, mk_, Mk_, kMaxInner);
+}
+
+ChameleonIndex::SubNode ChameleonIndex::BuildSubtree(
+    std::span<const KeyValue> data, Key lk, Key uk, int depth) {
+  SubNode result;
+  SubNode* node = &result;
+  node->lk = lk;
+  node->uk = uk;
+
+  size_t fanout = 1;
+  switch (config_.mode) {
+    case ChameleonMode::kDare:
+      fanout = 1;  // ChaDA: h-level nodes are plain EBH leaves
+      break;
+    case ChameleonMode::kEbhOnly: {
+      // ChaB's greedy strategy: one fixed 16-way split below the unit
+      // level, blind to the local distribution — dense units end up with
+      // overloaded leaves (the higher MaxError Table V shows for greedy
+      // construction), sparse units with near-empty ones.
+      if (depth == 0 && data.size() > config_.target_leaf_keys * 4 &&
+          uk - lk >= 2) {
+        fanout = 16;
+      }
+      break;
+    }
+    case ChameleonMode::kFull: {
+      const std::vector<Key> keys = KeysOf(data);
+      fanout = tsmdp_->ChooseFanout(keys, lk, uk, depth);
+      break;
+    }
+  }
+
+  if (fanout <= 1 || uk - lk < 2) {
+    node->leaf.emplace(lk, uk, data.size(), config_.tau, config_.alpha);
+    node->leaf->set_adaptive_alpha(config_.adaptive_alpha);
+    node->leaf->Build(data);
+    return result;
+  }
+
+  node->children.resize(fanout);
+  node->slope = Eq1Slope(lk, uk, fanout);
+  // Partition by the exact query-time child function (Eq. 1) so build
+  // and lookup can never disagree about a boundary key.
+  size_t begin = 0;
+  for (size_t c = 0; c < fanout; ++c) {
+    const Key child_lo = ChildLowerBound(lk, uk, fanout, c);
+    const Key child_hi =
+        c + 1 == fanout ? uk : ChildLowerBound(lk, uk, fanout, c + 1);
+    size_t end = begin;
+    if (c + 1 == fanout) {
+      end = data.size();
+    } else {
+      while (end < data.size() &&
+             LinearChildIndex(lk, uk, fanout, data[end].key) == c) {
+        ++end;
+      }
+    }
+    node->children[c] =
+        BuildSubtree(data.subspan(begin, end - begin), child_lo, child_hi,
+                     depth + 1);
+    begin = end;
+  }
+  return result;
+}
+
+void ChameleonIndex::BuildFrameNode(FrameNode* node,
+                                    std::span<const KeyValue> data, int level,
+                                    size_t fanout_hint) {
+  const size_t fanout = std::max<size_t>(1, fanout_hint);
+  const bool units_level = (level == h_ - 1);
+
+  node->slope = Eq1Slope(node->lk, node->uk, fanout);
+  if (units_level) {
+    node->unit_begin = units_.size();
+    node->unit_fanout = fanout;
+  } else {
+    node->children.resize(fanout);
+  }
+
+  size_t begin = 0;
+  for (size_t c = 0; c < fanout; ++c) {
+    const Key child_lo = ChildLowerBound(node->lk, node->uk, fanout, c);
+    const Key child_hi =
+        c + 1 == fanout ? node->uk
+                        : ChildLowerBound(node->lk, node->uk, fanout, c + 1);
+    size_t end = begin;
+    if (c + 1 == fanout) {
+      end = data.size();
+    } else {
+      while (end < data.size() &&
+             LinearChildIndex(node->lk, node->uk, fanout, data[end].key) ==
+                 c) {
+        ++end;
+      }
+    }
+    std::span<const KeyValue> child_data = data.subspan(begin, end - begin);
+    if (units_level) {
+      auto unit = std::make_unique<Unit>();
+      unit->lk = child_lo;
+      unit->uk = child_hi;
+      unit->built_keys = child_data.size();
+      unit->root = BuildSubtree(child_data, child_lo, child_hi, 0);
+      units_.push_back(std::move(unit));
+    } else {
+      FrameNode& child = node->children[c];
+      child.lk = child_lo;
+      child.uk = child_hi;
+      const size_t child_fanout =
+          FrameFanoutFor(child, level + 1, child_data.size());
+      BuildFrameNode(&child, child_data, level + 1, child_fanout);
+    }
+    begin = end;
+  }
+}
+
+void ChameleonIndex::BuildFrame(std::span<const KeyValue> data) {
+  units_.clear();
+  const size_t n = data.size();
+  mk_ = n > 0 ? data.front().key : 0;
+  Mk_ = n > 0 ? data.back().key + 1 : 1;
+
+  // h = ceil(log_{2^10} |D|), clamped to >= 2 (Sec. III-B).
+  h_ = n > 1
+           ? std::max(2, static_cast<int>(std::ceil(
+                             std::log2(static_cast<double>(n)) / 10.0)))
+           : 2;
+
+  if (config_.mode != ChameleonMode::kEbhOnly && n > 0) {
+    const std::vector<Key> keys = KeysOf(data);
+    dare_params_ = dare_->ChooseParams(keys, h_);
+  } else {
+    dare_params_ = DareParams{};
+  }
+
+  frame_root_ = FrameNode{};
+  frame_root_.lk = mk_;
+  frame_root_.uk = Mk_;
+  const size_t root_fanout = FrameFanoutFor(frame_root_, 1, n);
+  BuildFrameNode(&frame_root_, data, 1, root_fanout);
+}
+
+void ChameleonIndex::SetQuerySample(std::vector<Key> query_keys) {
+  std::sort(query_keys.begin(), query_keys.end());
+  tsmdp_->SetAccessSample(std::move(query_keys));
+}
+
+void ChameleonIndex::BulkLoad(std::span<const KeyValue> data) {
+  size_ = data.size();
+  built_size_ = data.size();
+  updates_since_build_ = 0;
+  total_retrains_.store(0);
+  total_full_rebuilds_ = 0;
+  BuildFrame(data);
+}
+
+void ChameleonIndex::MaybeFullReconstruct() {
+  if (config_.full_rebuild_threshold_pct == 0) return;
+  // Incremental background retraining supersedes wholesale rebuilds; a
+  // frame swap is also not safe under concurrent readers.
+  if (retrainer_enabled_.load(std::memory_order_relaxed)) return;
+  if (updates_since_build_ * 100 <=
+      std::max<size_t>(1, built_size_) * config_.full_rebuild_threshold_pct) {
+    return;
+  }
+  std::vector<KeyValue> all;
+  all.reserve(size_);
+  RangeScan(kMinKey, kMaxKey - 1, &all);
+  BuildFrame(all);  // re-invokes DARE (and TSMDP in full mode)
+  built_size_ = all.size();
+  updates_since_build_ = 0;
+  ++total_full_rebuilds_;
+}
+
+// --- Point operations -------------------------------------------------------
+
+ChameleonIndex::Unit* ChameleonIndex::FindUnit(Key key) const {
+  const FrameNode* node = &frame_root_;
+  while (!node->children.empty()) {
+    node = &node->children[node->ChildIndex(key)];
+  }
+  const size_t idx = node->ChildIndex(key);
+  return units_[node->unit_begin + idx].get();
+}
+
+bool ChameleonIndex::Lookup(Key key, Value* value) const {
+  Unit* unit = FindUnit(key);
+  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  if (locked) unit->lock.LockShared();
+  const SubNode* node = &unit->root;
+  while (!node->is_leaf()) {
+    node = &node->children[node->ChildIndex(key)];
+  }
+  const bool found = node->leaf->Lookup(key, value);
+  if (locked) unit->lock.UnlockShared();
+  return found;
+}
+
+bool ChameleonIndex::Insert(Key key, Value value) {
+  Unit* unit = FindUnit(key);
+  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  if (locked) unit->lock.LockShared();
+  SubNode* node = &unit->root;
+  while (!node->is_leaf()) {
+    node = &node->children[node->ChildIndex(key)];
+  }
+  const bool inserted = node->leaf->Insert(key, value);
+  if (inserted && locked && unit->rebuilding) {
+    unit->pending_log.push_back({true, key, value});
+  }
+  if (locked) unit->lock.UnlockShared();
+  if (!inserted) return false;
+  unit->inserts_since_build.fetch_add(1, std::memory_order_relaxed);
+  ++size_;
+  ++updates_since_build_;
+  MaybeFullReconstruct();
+  return true;
+}
+
+bool ChameleonIndex::Erase(Key key) {
+  Unit* unit = FindUnit(key);
+  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  if (locked) unit->lock.LockShared();
+  SubNode* node = &unit->root;
+  while (!node->is_leaf()) {
+    node = &node->children[node->ChildIndex(key)];
+  }
+  const bool erased = node->leaf->Erase(key);
+  if (erased && locked && unit->rebuilding) {
+    unit->pending_log.push_back({false, key, 0});
+  }
+  if (locked) unit->lock.UnlockShared();
+  if (!erased) return false;
+  unit->inserts_since_build.fetch_add(1, std::memory_order_relaxed);
+  --size_;
+  ++updates_since_build_;
+  MaybeFullReconstruct();
+  return true;
+}
+
+// --- Scans ------------------------------------------------------------------
+
+size_t ChameleonIndex::RangeScan(Key lo, Key hi,
+                                 std::vector<KeyValue>* out) const {
+  // Collect the unit range covering [lo, hi] by walking the frame.
+  size_t count = 0;
+  struct FrameWalker {
+    Key lo, hi;
+    const std::vector<std::unique_ptr<Unit>>* units;
+    std::vector<Unit*> hits;
+    void Walk(const FrameNode* node) {
+      const size_t first = node->ChildIndex(lo);
+      const size_t last = node->ChildIndex(hi);
+      if (node->children.empty()) {
+        for (size_t i = first; i <= last; ++i) {
+          hits.push_back((*units)[node->unit_begin + i].get());
+        }
+        return;
+      }
+      for (size_t i = first; i <= last; ++i) Walk(&node->children[i]);
+    }
+  } frame_walker{lo, hi, &units_, {}};
+  frame_walker.Walk(&frame_root_);
+
+  struct SubWalker {
+    Key lo, hi;
+    std::vector<KeyValue>* out;
+    size_t count = 0;
+    void Walk(const SubNode* node) {
+      if (node->is_leaf()) {
+        count += node->leaf->RangeScan(lo, hi, out);
+        return;
+      }
+      const size_t first = node->ChildIndex(lo);
+      const size_t last = node->ChildIndex(hi);
+      for (size_t i = first; i <= last; ++i) Walk(&node->children[i]);
+    }
+  };
+
+  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  for (Unit* unit : frame_walker.hits) {
+    if (locked) unit->lock.LockShared();
+    SubWalker walker{lo, hi, out};
+    walker.Walk(&unit->root);
+    count += walker.count;
+    if (locked) unit->lock.UnlockShared();
+  }
+  return count;
+}
+
+// --- Retraining -------------------------------------------------------------
+
+size_t ChameleonIndex::RetrainOnce() {
+  // Collect drifted units, most-drifted first, and rebuild at most
+  // max_retrains_per_pass of them this pass (the rest wait for the next
+  // period, bounding Retraining-Lock pressure on foreground writes).
+  std::vector<std::pair<double, Unit*>> candidates;
+  for (auto& unit_ptr : units_) {
+    Unit& unit = *unit_ptr;
+    const size_t updates =
+        unit.inserts_since_build.load(std::memory_order_relaxed);
+    const size_t threshold = std::max<size_t>(
+        16, unit.built_keys * config_.retrain_threshold_pct / 100);
+    if (updates <= threshold) continue;
+    const double drift = static_cast<double>(updates) /
+                         static_cast<double>(std::max<size_t>(
+                             1, unit.built_keys));
+    candidates.push_back({drift, &unit});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (candidates.size() > config_.max_retrains_per_pass) {
+    candidates.resize(config_.max_retrains_per_pass);
+  }
+
+  size_t rebuilt = 0;
+  for (auto& [drift, unit_ptr2] : candidates) {
+    Unit& unit = *unit_ptr2;
+    // Phase 1 (brief Retraining-Lock): snapshot the unit's records and
+    // open the pending-op log. Denied while a query holds the interval;
+    // the retrainer simply moves on and retries on the next pass.
+    if (!unit.lock.TryLockExclusive()) continue;
+    std::vector<KeyValue> pairs;
+    {
+      struct Collector {
+        std::vector<KeyValue>* out;
+        void Walk(const SubNode* node) {
+          if (node->is_leaf()) {
+            node->leaf->CollectUnsorted(out);
+            return;
+          }
+          for (const SubNode& c : node->children) Walk(&c);
+        }
+      } collector{&pairs};
+      collector.Walk(&unit.root);
+    }
+    unit.rebuilding = true;
+    unit.pending_log.clear();
+    unit.lock.UnlockExclusive();
+
+    // Phase 2 (no locks): build the replacement subtree aside while the
+    // old one keeps serving queries and updates.
+    std::sort(pairs.begin(), pairs.end());
+    SubNode fresh = BuildSubtree(pairs, unit.lk, unit.uk, 0);
+
+    // Phase 3 (brief Retraining-Lock): replay updates that raced with
+    // the rebuild, then swap.
+    unit.lock.LockExclusive();
+    size_t net = pairs.size();
+    for (const PendingOp& op : unit.pending_log) {
+      SubNode* node = &fresh;
+      while (!node->is_leaf()) {
+        node = &node->children[node->ChildIndex(op.key)];
+      }
+      if (op.is_insert) {
+        net += node->leaf->Insert(op.key, op.value);
+      } else {
+        net -= node->leaf->Erase(op.key);
+      }
+    }
+    unit.root = std::move(fresh);
+    unit.built_keys = net;
+    unit.inserts_since_build.store(0, std::memory_order_relaxed);
+    unit.rebuilding = false;
+    unit.pending_log.clear();
+    unit.lock.UnlockExclusive();
+    ++rebuilt;
+    total_retrains_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return rebuilt;
+}
+
+void ChameleonIndex::RetrainerLoop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(retrainer_mu_);
+  while (!retrainer_stop_) {
+    if (retrainer_cv_.wait_for(lock, interval,
+                               [this] { return retrainer_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    RetrainOnce();
+    lock.lock();
+  }
+}
+
+void ChameleonIndex::StartRetrainer(std::chrono::milliseconds interval) {
+  StopRetrainer();
+  {
+    std::lock_guard<std::mutex> lock(retrainer_mu_);
+    retrainer_stop_ = false;
+  }
+  // Queries begin taking Query-Locks from here on; the retrainer's first
+  // pass happens one full interval later, far beyond the lifetime of any
+  // unlocked in-flight operation.
+  retrainer_enabled_.store(true, std::memory_order_seq_cst);
+  retrainer_ = std::thread([this, interval] { RetrainerLoop(interval); });
+}
+
+void ChameleonIndex::StopRetrainer() {
+  {
+    std::lock_guard<std::mutex> lock(retrainer_mu_);
+    retrainer_stop_ = true;
+  }
+  retrainer_cv_.notify_all();
+  if (retrainer_.joinable()) retrainer_.join();
+  retrainer_enabled_.store(false, std::memory_order_seq_cst);
+}
+
+// --- Introspection ----------------------------------------------------------
+
+size_t ChameleonIndex::total_shifts() const {
+  size_t shifts = 0;
+  struct Walker {
+    size_t* shifts;
+    void Walk(const SubNode* node) {
+      if (node->is_leaf()) {
+        *shifts += node->leaf->total_shifts();
+        return;
+      }
+      for (const SubNode& c : node->children) Walk(&c);
+    }
+  } walker{&shifts};
+  for (const auto& unit : units_) walker.Walk(&unit->root);
+  return shifts;
+}
+
+size_t ChameleonIndex::SizeBytes() const {
+  struct Walker {
+    size_t bytes = 0;
+    void Walk(const SubNode* node) {
+      bytes += node->children.capacity() * sizeof(SubNode);
+      if (node->is_leaf()) {
+        bytes += node->leaf->SizeBytes() - sizeof(EbhLeaf) + 0;
+        return;
+      }
+      for (const SubNode& c : node->children) Walk(&c);
+    }
+  } walker;
+  size_t frame_bytes = 0;
+  struct FrameSizer {
+    size_t bytes = 0;
+    void Walk(const FrameNode* node) {
+      bytes += sizeof(FrameNode) + node->children.capacity() * sizeof(FrameNode);
+      for (const FrameNode& c : node->children) Walk(&c);
+    }
+  } frame_sizer;
+  frame_sizer.Walk(&frame_root_);
+  frame_bytes = frame_sizer.bytes;
+  for (const auto& unit : units_) {
+    walker.bytes += sizeof(Unit);
+    walker.Walk(&unit->root);
+  }
+  return sizeof(ChameleonIndex) + frame_bytes + walker.bytes +
+         units_.capacity() * sizeof(void*);
+}
+
+IndexStats ChameleonIndex::Stats() const {
+  IndexStats stats;
+  // Frame node count + depth bookkeeping.
+  struct FrameCounter {
+    size_t nodes = 0;
+    void Walk(const FrameNode* node) {
+      ++nodes;
+      for (const FrameNode& c : node->children) Walk(&c);
+    }
+  } frame_counter;
+  frame_counter.Walk(&frame_root_);
+
+  struct SubWalker {
+    size_t nodes = 0;
+    int max_depth = 0;  // depth of deepest leaf, counting unit root depth
+    double weighted_depth = 0.0;
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    size_t keys = 0;
+    void Walk(const SubNode* node, int depth) {
+      ++nodes;
+      if (node->is_leaf()) {
+        max_depth = std::max(max_depth, depth);
+        weighted_depth +=
+            static_cast<double>(node->leaf->num_keys()) * depth;
+        keys += node->leaf->num_keys();
+        node->leaf->AccumulateError(&err_sum, &err_max);
+        return;
+      }
+      for (const SubNode& c : node->children) Walk(&c, depth + 1);
+    }
+  } sub_walker;
+
+  // Unit roots sit at level h; their subtrees extend below.
+  for (const auto& unit : units_) {
+    sub_walker.Walk(&unit->root, h_);
+  }
+
+  stats.num_nodes = frame_counter.nodes + sub_walker.nodes;
+  stats.max_height = sub_walker.max_depth;
+  stats.avg_height = sub_walker.keys > 0
+                         ? sub_walker.weighted_depth / sub_walker.keys
+                         : sub_walker.max_depth;
+  stats.max_error = sub_walker.err_max;
+  stats.avg_error =
+      sub_walker.keys > 0 ? sub_walker.err_sum / sub_walker.keys : 0.0;
+  return stats;
+}
+
+}  // namespace chameleon

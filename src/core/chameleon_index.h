@@ -1,0 +1,240 @@
+#ifndef CHAMELEON_CORE_CHAMELEON_INDEX_H_
+#define CHAMELEON_CORE_CHAMELEON_INDEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/api/kv_index.h"
+#include "src/core/dare.h"
+#include "src/core/ebh_leaf.h"
+#include "src/core/interval_lock.h"
+#include "src/core/tsmdp.h"
+
+namespace chameleon {
+
+/// Which construction modules are active — the paper's ablation variants
+/// (Sec. VI-B4, Table V).
+enum class ChameleonMode {
+  kEbhOnly,  ///< "ChaB":    EBH leaves, greedy fixed-fanout frame
+  kDare,     ///< "ChaDA":   ChaB + DARE-optimized frame, plain EBH units
+  kFull,     ///< "ChaDATS": ChaDA + TSMDP refinement of the lower levels
+};
+
+struct ChameleonConfig {
+  ChameleonMode mode = ChameleonMode::kFull;
+  double tau = 0.45;     // Theorem-1 collision-probability target
+  double alpha = 131.0;  // EBH hash factor (Eq. 2)
+  /// Adaptive alpha selection in EBH leaves (median-gap scaling +
+  /// escalation); turn off to pin Eq. 2's literal alpha (ablation).
+  bool adaptive_alpha = true;
+  double w_time = 0.5;   // reward weights (paper Table IV)
+  double w_mem = 0.5;
+  size_t target_leaf_keys = 64;  // greedy leaf sizing (ChaB / heuristics)
+  /// When a unit has accumulated inserts beyond this percentage of its
+  /// built population, the retraining pass rebuilds it.
+  size_t retrain_threshold_pct = 50;
+  /// At most this many units are rebuilt per retraining pass (highest
+  /// drift first); bounds how long foreground writes can stall on
+  /// Retraining-Locks within one period.
+  size_t max_retrains_per_pass = 16;
+  /// Sec. V, Limitation (1): "when the number of updated data reaches a
+  /// certain threshold, any learned index faces complete reconstruction
+  /// ... our DARE is triggered to reconstruct the overall index". When
+  /// cumulative updates exceed this percentage of the bulk-loaded
+  /// population, the next update triggers a full DARE rebuild (only in
+  /// single-threaded mode — with the retraining thread live, incremental
+  /// unit rebuilds keep the structure fit instead). 0 disables.
+  size_t full_rebuild_threshold_pct = 400;
+  TsmdpConfig tsmdp;  // seeds/weights are overridden from this config
+  DareConfig dare;
+  uint64_t seed = 5;
+};
+
+/// Chameleon: the paper's learned index. Linear-model inner nodes
+/// (Eq. 1 — exact interval partition, no secondary search) over Error
+/// Bounded Hashing leaves, constructed by two cooperating RL agents
+/// (DARE for the upper h-1 levels, TSMDP for the rest), with a
+/// non-blocking background retraining thread synchronized by Interval
+/// Locks on the h-th-level key intervals.
+///
+/// Thread model (matching Sec. V): one workload thread issues
+/// queries/updates; one retraining thread may run concurrently. Lookups
+/// and RangeScans take the Query-Lock (shared) on the one interval they
+/// touch; the retrainer takes the Retraining-Lock (exclusive) on the one
+/// interval it rebuilds.
+class ChameleonIndex final : public KvIndex {
+ public:
+  ChameleonIndex();
+  explicit ChameleonIndex(ChameleonConfig config);
+  ~ChameleonIndex() override;
+
+  ChameleonIndex(const ChameleonIndex&) = delete;
+  ChameleonIndex& operator=(const ChameleonIndex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override;
+
+  // --- Retraining (Sec. V) --------------------------------------------------
+
+  /// Starts the background retraining thread; it wakes every `interval`
+  /// (paper: 10 s; tests use milliseconds) and runs one retraining pass.
+  void StartRetrainer(std::chrono::milliseconds interval);
+  void StopRetrainer();
+
+  /// One synchronous retraining pass over all h-level units: rebuilds
+  /// every unit whose update volume crossed the threshold, under its
+  /// Retraining-Lock. Returns the number of units rebuilt. Safe to call
+  /// concurrently with workload operations (that is its purpose).
+  size_t RetrainOnce();
+
+  /// Total units rebuilt since bulk load (Fig. 14 metric).
+  size_t total_retrains() const { return total_retrains_.load(); }
+
+  /// Full DARE-driven reconstructions since bulk load (Sec. V,
+  /// Limitation 1).
+  size_t total_full_rebuilds() const { return total_full_rebuilds_; }
+
+  /// Total EBH displacement shifts across all leaves (Fig. 1(b) metric).
+  size_t total_shifts() const;
+
+  // --- Agents ---------------------------------------------------------------
+
+  TsmdpAgent& tsmdp() { return *tsmdp_; }
+  DareAgent& dare() { return *dare_; }
+
+  /// Workload-aware construction (the paper's query-distribution reward
+  /// extension): supplies a sample of query keys; the next BulkLoad /
+  /// retraining pass weights fanout decisions by this traffic.
+  void SetQuerySample(std::vector<Key> query_keys);
+
+  /// Persists the built structure (see core/serialize.h). The retraining
+  /// thread must be stopped. Returns false on I/O error.
+  bool SaveTo(const std::string& path) const;
+  /// Restores a structure written by SaveTo, replacing the current one.
+  bool LoadFrom(const std::string& path);
+
+  /// Number of frame levels h = ceil(log_{2^10} |D|), clamped to >= 2
+  /// (Sec. III-B); the level whose nodes carry interval locks.
+  int frame_levels() const { return h_; }
+  size_t num_units() const { return units_.size(); }
+
+ private:
+  /// A node in a unit's subtree (below the h-th level): either an inner
+  /// partition (Eq. 1) over children, or an EBH leaf.
+  struct SubNode {
+    Key lk = 0, uk = 0;
+    double slope = 0.0;  // fanout / (uk - lk), cached for ChildIndex
+    // Children and leaves are stored by value (contiguous children,
+    // inline EBH header): each descent hop costs one dependent cache
+    // miss instead of two or three pointer chases.
+    std::vector<SubNode> children;  // empty => leaf
+    std::optional<EbhLeaf> leaf;
+
+    bool is_leaf() const { return leaf.has_value(); }
+    size_t ChildIndex(Key key) const;
+  };
+
+  /// A frame node in levels 1 .. h-1. Children are either further frame
+  /// nodes (levels < h-1) or a contiguous range of lock units (level
+  /// h-1).
+  struct FrameNode {
+    Key lk = 0, uk = 0;
+    double slope = 0.0;  // fanout / (uk - lk), cached for ChildIndex
+    std::vector<FrameNode> children;  // non-empty for upper frame levels
+    size_t unit_begin = 0;            // valid when children.empty()
+    size_t unit_fanout = 0;
+
+    size_t fanout() const {
+      return children.empty() ? unit_fanout : children.size();
+    }
+    size_t ChildIndex(Key key) const;
+  };
+
+  /// A logged update applied while a unit's replacement subtree was
+  /// being built aside; replayed during the swap.
+  struct PendingOp {
+    bool is_insert;
+    Key key;
+    Value value;
+  };
+
+  /// An h-th-level node: the retraining/locking granule.
+  ///
+  /// Retraining is non-blocking: the retrainer snapshots the unit under
+  /// a brief Retraining-Lock, builds the replacement subtree *aside*
+  /// while queries and updates keep hitting the old subtree, and
+  /// finishes with a second brief exclusive section that replays the
+  /// updates logged meanwhile and swaps the roots. Foreground stalls are
+  /// bounded by the snapshot/swap, not the rebuild.
+  struct Unit {
+    Key lk = 0, uk = 0;
+    SubNode root;  // by value: the common leaf-unit needs no extra hop
+    IntervalLock lock;
+    size_t built_keys = 0;
+    std::atomic<size_t> inserts_since_build{0};
+    // Guarded by `lock`: set (exclusive) by the retrainer, observed
+    // (shared) by the single workload thread, which is the only writer
+    // of pending_log.
+    bool rebuilding = false;
+    std::vector<PendingOp> pending_log;
+  };
+
+  void BuildFrame(std::span<const KeyValue> data);
+  /// Recursively builds frame levels; `level` is this node's level (1 =
+  /// root). At level h-1 the children become units.
+  void BuildFrameNode(FrameNode* node, std::span<const KeyValue> data,
+                      int level, size_t fanout_hint);
+  size_t FrameFanoutFor(const FrameNode& node, int level, size_t n) const;
+  SubNode BuildSubtree(std::span<const KeyValue> data, Key lk, Key uk,
+                       int depth);
+  Unit* FindUnit(Key key) const;
+  void RetrainerLoop(std::chrono::milliseconds interval);
+  /// Triggers the Sec.-V full reconstruction when the cumulative update
+  /// volume crosses the threshold (single-threaded mode only).
+  void MaybeFullReconstruct();
+
+  ChameleonConfig config_;
+  std::unique_ptr<TsmdpAgent> tsmdp_;
+  std::unique_ptr<DareAgent> dare_;
+  DareParams dare_params_;  // frame parameters chosen at bulk load
+
+  int h_ = 2;
+  Key mk_ = 0;  // dataset min key at bulk load
+  Key Mk_ = 1;  // dataset max key + 1 (frame upper bound, exclusive)
+  FrameNode frame_root_;
+  std::vector<std::unique_ptr<Unit>> units_;
+  size_t size_ = 0;
+  size_t built_size_ = 0;          // population at the last full (re)build
+  size_t updates_since_build_ = 0; // foreground inserts+erases since then
+  size_t total_full_rebuilds_ = 0;
+  std::atomic<size_t> total_retrains_{0};
+  // Interval locks are only taken while a retraining thread is live;
+  // single-threaded operation pays no atomic RMWs on the query path.
+  std::atomic<bool> retrainer_enabled_{false};
+
+  // Retrainer thread state.
+  std::thread retrainer_;
+  std::mutex retrainer_mu_;
+  std::condition_variable retrainer_cv_;
+  bool retrainer_stop_ = false;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_CORE_CHAMELEON_INDEX_H_

@@ -1,0 +1,131 @@
+#ifndef CHAMELEON_CORE_EBH_LEAF_H_
+#define CHAMELEON_CORE_EBH_LEAF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// Slot sentinel: EBH leaves store keys inline and mark empty slots with
+/// kMaxKey, so a probe touches one cache line per slot instead of a
+/// separate occupancy bitmap. Consequently kMaxKey itself cannot be
+/// indexed (documented on KvIndex; the SOSD data domain never contains
+/// it).
+inline constexpr Key kEbhEmptySlot = kMaxKey;
+
+/// Theorem 1: minimum slot capacity so that the collision probability of
+/// an EBH node with `n` keys stays below `tau`:
+///   c >= (n - 1) / (-ln(1 - tau)).
+size_t EbhCapacityFor(size_t n, double tau, size_t min_capacity = 8);
+
+/// Error Bounded Hashing leaf node (Sec. III-A "Leaf Nodes").
+///
+/// Keys in [lk, uk) are placed by the hash function of Eq. (2):
+///
+///   P(k) = alpha * ( c/(uk - lk) * (k - lk) )  mod  c
+///
+/// The multiplication by alpha (131 in the paper's running example)
+/// scatters locally dense key clusters across the whole slot array —
+/// the mechanism that flattens local skew. Collisions displace a key to
+/// the nearest free slot; the node tracks its *conflict degree* `cd`
+/// (Definition 2: the maximum displacement), so probes never scan more
+/// than [P(k) - cd, P(k) + cd]: the hash is error-bounded.
+///
+/// Slots are unordered by key (the paper: "the unordered EBH eliminates
+/// sorting operations during retraining"); range scans collect & sort.
+class EbhLeaf {
+ public:
+  /// Creates an empty leaf over [lk, uk) sized for `expected_keys` at
+  /// collision probability `tau`.
+  EbhLeaf(Key lk, Key uk, size_t expected_keys, double tau,
+          double alpha = 131.0);
+
+  /// Creates a leaf with an explicit slot capacity (tests / worked
+  /// examples); Build() keeps this capacity instead of resizing.
+  static EbhLeaf WithExplicitCapacity(Key lk, Key uk, size_t capacity,
+                                      double tau, double alpha = 131.0);
+
+  /// Bulk build from sorted pairs (all keys must lie in [lk, uk)).
+  void Build(std::span<const KeyValue> data);
+
+  bool Lookup(Key key, Value* value) const;
+
+  /// Returns false on duplicate. Expands (rehashes at Theorem-1 capacity
+  /// for the new population) when the load factor crosses the threshold
+  /// or no slot is reachable within the probe bound.
+  bool Insert(Key key, Value value);
+
+  bool Erase(Key key);
+
+  /// Appends all stored pairs (unsorted) to `*out`.
+  void CollectUnsorted(std::vector<KeyValue>* out) const;
+
+  /// Appends pairs with key in [lo, hi], sorted, to `*out`; returns count.
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const;
+
+  size_t num_keys() const { return num_keys_; }
+  size_t capacity() const { return keys_.size(); }
+  /// Conflict degree: current maximum displacement (Definition 2).
+  size_t conflict_degree() const { return cd_; }
+  Key lk() const { return lk_; }
+  Key uk() const { return uk_; }
+  size_t SizeBytes() const;
+  /// Total displacement shifts performed by inserts (bench metric).
+  size_t total_shifts() const { return total_shifts_; }
+
+  /// Hash slot for `key` (Eq. 2); exposed for tests.
+  size_t HashSlot(Key key) const;
+
+  /// Disables the adaptive alpha selection/escalation in Build(),
+  /// pinning the constructor's alpha (used by the ablation bench that
+  /// quantifies how much the adaptive hash contributes).
+  void set_adaptive_alpha(bool adaptive) { adaptive_alpha_ = adaptive; }
+  double alpha() const { return alpha_; }
+
+  /// Sum and max of |stored slot - hashed slot| over all keys — the
+  /// actual prediction error of the EBH model (Table V's Max/AvgError).
+  void AccumulateError(double* err_sum, double* err_max) const;
+
+  // --- Serialization support (slot-exact persistence) ---------------------
+  const std::vector<Key>& raw_keys() const { return keys_; }
+  const std::vector<Value>& raw_values() const { return values_; }
+  double tau() const { return tau_; }
+
+  /// Reconstructs a leaf from persisted raw state; `keys`/`values` are
+  /// the full slot arrays (sentinel-marked empties included).
+  static EbhLeaf FromRaw(Key lk, Key uk, double tau, double alpha,
+                         size_t conflict_degree, size_t num_keys,
+                         std::vector<Key> keys, std::vector<Value> values);
+
+ private:
+  bool fixed_capacity_ = false;  // set by WithExplicitCapacity
+  bool adaptive_alpha_ = true;
+
+  void Expand(size_t new_capacity);
+  /// Places a key at the nearest free slot to its hash; returns the
+  /// displacement or SIZE_MAX when no slot is free within the bound.
+  size_t Place(Key key, Value value);
+
+  void RecomputeHashScale();
+
+  Key lk_;
+  Key uk_;
+  double tau_;
+  double alpha_;
+  // Cached alpha * c / (uk - lk): HashSlot is one multiply + fmod.
+  double hash_scale_ = 0.0;
+  bool occupied(size_t i) const { return keys_[i] != kEbhEmptySlot; }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  size_t num_keys_ = 0;
+  size_t cd_ = 0;
+  size_t total_shifts_ = 0;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_CORE_EBH_LEAF_H_

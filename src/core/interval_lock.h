@@ -1,0 +1,80 @@
+#ifndef CHAMELEON_CORE_INTERVAL_LOCK_H_
+#define CHAMELEON_CORE_INTERVAL_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chameleon {
+
+/// The paper's Interval Lock (Definition 4): a lightweight lock guarding
+/// the key interval [N.lk, N.uk) of one h-th-level node. Because sibling
+/// intervals never overlap and the upper h-1 levels are immutable during
+/// retraining, an interval is identified by its ID path (Eq. 1 at each
+/// level) — flattened here to one integer — and two threads conflict iff
+/// they hold the same ID. No path locking, no overlap checks.
+///
+/// One atomic word per interval: bit 31 is the Retraining-Lock, bits
+/// 0..30 count Query-Lock holders.
+class IntervalLock {
+ public:
+  IntervalLock() : word_(0) {}
+
+  IntervalLock(const IntervalLock&) = delete;
+  IntervalLock& operator=(const IntervalLock&) = delete;
+
+  /// Query-Lock (shared): spins while a retraining pass holds the
+  /// interval. Multiple queries may hold it simultaneously.
+  void LockShared() {
+    uint32_t cur = word_.load(std::memory_order_relaxed);
+    while (true) {
+      if ((cur & kRetrainBit) != 0) {
+        cur = word_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (word_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
+
+  /// Retraining-Lock (exclusive): succeeds only when no query holds the
+  /// interval; never blocks queries while waiting (the retraining thread
+  /// retries later instead — the paper's "access request is denied").
+  bool TryLockExclusive() {
+    uint32_t expected = 0;
+    return word_.compare_exchange_strong(expected, kRetrainBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Blocking exclusive acquire (spins; used for the brief subtree swap
+  /// at the end of a rebuild — query/update critical sections are
+  /// microseconds).
+  void LockExclusive() {
+    while (!TryLockExclusive()) {
+    }
+  }
+
+  void UnlockExclusive() {
+    word_.store(0, std::memory_order_release);
+  }
+
+  bool IsRetrainLocked() const {
+    return (word_.load(std::memory_order_relaxed) & kRetrainBit) != 0;
+  }
+  uint32_t SharedCount() const {
+    return word_.load(std::memory_order_relaxed) & ~kRetrainBit;
+  }
+
+ private:
+  static constexpr uint32_t kRetrainBit = 0x80000000u;
+  std::atomic<uint32_t> word_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_CORE_INTERVAL_LOCK_H_

@@ -1,0 +1,26 @@
+#ifndef CHAMELEON_CORE_SERIALIZE_H_
+#define CHAMELEON_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "src/core/chameleon_index.h"
+
+namespace chameleon {
+
+/// Persists a built ChameleonIndex — frame parameters, unit layout,
+/// TSMDP-chosen subtrees, and EBH leaf contents (slot-exact, including
+/// each leaf's adapted hash factor) — so reloading skips the RL
+/// construction entirely. Binary little-endian format, versioned.
+///
+/// The retraining thread must be stopped while saving.
+bool SaveIndex(const ChameleonIndex& index, const std::string& path);
+
+/// Restores an index previously written by SaveIndex into `*index`
+/// (whose construction config supplies the agents for any *future*
+/// retraining; the stored structure is loaded verbatim). Returns false
+/// on I/O error, bad magic, or version mismatch.
+bool LoadIndex(ChameleonIndex* index, const std::string& path);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_CORE_SERIALIZE_H_

@@ -1,0 +1,93 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/random.h"
+
+namespace chameleon {
+
+ChameleonTrainer::ChameleonTrainer(DareAgent* dare, TsmdpAgent* tsmdp,
+                                   TrainerConfig config)
+    : dare_(dare), tsmdp_(tsmdp), config_(config) {}
+
+TrainerReport ChameleonTrainer::Train(
+    const std::vector<std::vector<Key>>& datasets) {
+  TrainerReport report;
+  if (datasets.empty()) return report;
+  Rng rng(config_.seed);
+
+  double er = 1.0;  // Algorithm 2, line 2
+  while (er > config_.epsilon) {  // line 3
+    ++report.steps;
+    for (int i = 0; i < config_.episodes_per_step; ++i) {  // line 4
+      // Line 5: a random dataset from the training corpus.
+      const std::vector<Key>& dataset =
+          datasets[rng.NextBounded(datasets.size())];
+      if (dataset.size() < 2) continue;
+      ++report.episodes;
+
+      // Line 7: random DRF weights (w_t + w_m = 1).
+      const double w_time = rng.NextDouble();
+      const double w_mem = 1.0 - w_time;
+
+      // h for this dataset (Sec. III-B).
+      const int h = std::max(
+          2, static_cast<int>(std::ceil(
+                 std::log2(static_cast<double>(dataset.size())) / 10.0)));
+
+      // Line 8: a_best via Algorithm 1 (GA over the critic/analytic
+      // fitness) — ChooseParams runs the GA and records the experience
+      // (state, action, simulated costs) for critic training.
+      //
+      // Lines 9-10: exploration mixing is performed *inside the GA
+      // bounds* by perturbing the returned parameters toward a random
+      // genome with weight er: a_D = (1 - er)*a_best + er*a_random.
+      const DareParams best = dare_->ChooseParams(dataset, h);
+      DareParams mixed = best;
+      {
+        const double random_log2_root = rng.NextDouble(0.0, 20.0);
+        const double best_log2_root =
+            std::log2(static_cast<double>(std::max<size_t>(1,
+                best.root_fanout)));
+        const double mixed_log2 =
+            (1.0 - er) * best_log2_root + er * random_log2_root;
+        mixed.root_fanout = static_cast<size_t>(
+            std::lround(std::exp2(mixed_log2)));
+        mixed.root_fanout = std::max<size_t>(1, mixed.root_fanout);
+        for (auto& row : mixed.matrix) {
+          for (float& p : row) {
+            const float random_p = static_cast<float>(
+                rng.NextDouble(1.0, 1024.0));
+            p = static_cast<float>((1.0 - er) * p + er * random_p);
+          }
+        }
+      }
+      // Lines 11-12: instantiate the index the mixed parameters induce
+      // and refine with Q_T — realized here by evaluating the mixed
+      // genome against the analytic environment (recording the reward
+      // signal DARE's critic learns from) and training TSMDP on the
+      // dataset's tree decisions.
+      std::vector<float> genome;
+      genome.push_back(static_cast<float>(
+          std::log2(static_cast<double>(mixed.root_fanout))));
+      for (const auto& row : mixed.matrix) {
+        genome.insert(genome.end(), row.begin(), row.end());
+      }
+      (void)dare_->AnalyticFitness(genome, dataset, dataset.size(), h,
+                                   w_time, w_mem);
+      report.final_tsmdp_loss = tsmdp_->Train(
+          dataset, dataset.front(), dataset.back() + 1,
+          config_.tsmdp_episodes);  // line 13
+    }
+    // Line 14: train Q_D on everything recorded so far.
+    report.final_critic_mae = dare_->TrainCritic(config_.critic_epochs);
+    // Line 15: decrease er.
+    er *= config_.er_decay;
+  }
+  report.final_er = er;
+  return report;
+}
+
+}  // namespace chameleon

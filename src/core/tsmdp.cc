@@ -1,0 +1,178 @@
+#include "src/core/tsmdp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/cost_model.h"
+#include "src/data/skew.h"
+
+namespace chameleon {
+namespace {
+
+constexpr size_t kHistBuckets = 1024;
+
+// Subrange of `keys` falling into [lo, hi).
+std::span<const Key> Slice(std::span<const Key> keys, Key lo, Key hi) {
+  const auto begin = std::lower_bound(keys.begin(), keys.end(), lo);
+  const auto end = std::lower_bound(begin, keys.end(), hi);
+  return keys.subspan(begin - keys.begin(), end - begin);
+}
+
+}  // namespace
+
+TsmdpAgent::TsmdpAgent(TsmdpConfig config) : config_(config) {
+  config_.dqn.state_dim = config_.state_buckets + 2;
+  config_.dqn.num_actions = kNumActions;
+  config_.dqn.seed = config_.seed;
+  dqn_ = std::make_unique<TreeDqn>(config_.dqn);
+}
+
+std::vector<size_t> TsmdpAgent::Hist1024(std::span<const Key> keys, Key lk,
+                                         Key uk) {
+  std::vector<size_t> hist(kHistBuckets, 0);
+  const double lo = static_cast<double>(lk);
+  const double range = static_cast<double>(uk) - lo;
+  if (range <= 0.0) {
+    hist[0] = keys.size();
+    return hist;
+  }
+  for (Key k : keys) {
+    size_t b = static_cast<size_t>((static_cast<double>(k) - lo) / range *
+                                   static_cast<double>(kHistBuckets));
+    if (b >= kHistBuckets) b = kHistBuckets - 1;
+    ++hist[b];
+  }
+  return hist;
+}
+
+std::vector<size_t> TsmdpAgent::ChildCounts(std::span<const size_t> hist1024,
+                                            size_t fanout) {
+  std::vector<size_t> counts(fanout, 0);
+  const size_t group = kHistBuckets / fanout;
+  for (size_t c = 0; c < fanout; ++c) {
+    for (size_t b = c * group; b < (c + 1) * group; ++b) {
+      counts[c] += hist1024[b];
+    }
+  }
+  return counts;
+}
+
+void TsmdpAgent::SetAccessSample(std::vector<Key> sorted_query_keys) {
+  access_sample_ = std::move(sorted_query_keys);
+}
+
+size_t TsmdpAgent::CostModelFanout(std::span<const Key> keys, Key lk, Key uk,
+                                   int depth) const {
+  if (keys.size() < config_.min_split_keys || depth >= config_.max_depth ||
+      uk - lk < 2) {
+    return 1;
+  }
+  const std::vector<size_t> hist = Hist1024(keys, lk, uk);
+  // Query-distribution extension: histogram the access sample over the
+  // same buckets so child time costs can be traffic-weighted.
+  std::vector<size_t> access_hist;
+  size_t total_access = 0;
+  if (!access_sample_.empty()) {
+    const std::span<const Key> in_node =
+        Slice(access_sample_, lk, uk);
+    if (!in_node.empty()) {
+      access_hist = Hist1024(in_node, lk, uk);
+      total_access = in_node.size();
+    }
+  }
+  double best_cost = LeafCost(keys.size(), config_.tau, config_.w_time,
+                              config_.w_mem);
+  size_t best_fanout = 1;
+  for (int a = 1; a < static_cast<int>(kNumActions); ++a) {
+    const size_t fanout = ActionFanout(a);
+    const std::vector<size_t> counts = ChildCounts(hist, fanout);
+    double cost;
+    if (total_access > 0) {
+      const std::vector<size_t> access = ChildCounts(access_hist, fanout);
+      cost = PartitionCostWeighted(counts, access, keys.size(), total_access,
+                                   config_.tau, config_.w_time,
+                                   config_.w_mem);
+    } else {
+      cost = PartitionCost(counts, keys.size(), config_.tau, config_.w_time,
+                           config_.w_mem);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_fanout = fanout;
+    }
+  }
+  return best_fanout;
+}
+
+size_t TsmdpAgent::ChooseFanout(std::span<const Key> keys, Key lk, Key uk,
+                                int depth) {
+  if (keys.size() < config_.min_split_keys || depth >= config_.max_depth ||
+      uk - lk < 2) {
+    return 1;
+  }
+  if (config_.source == PolicySource::kCostModel) {
+    return CostModelFanout(keys, lk, uk, depth);
+  }
+  const std::vector<float> state =
+      StateVector(keys, config_.state_buckets, lk, uk);
+  const int action = dqn_->GreedyAction(state);
+  return ActionFanout(action);
+}
+
+std::vector<float> TsmdpAgent::TrainEpisode(std::span<const Key> keys, Key lk,
+                                            Key uk, int depth) {
+  std::vector<float> state = StateVector(keys, config_.state_buckets, lk, uk);
+
+  const bool must_leaf = keys.size() < config_.min_split_keys ||
+                         depth >= config_.max_depth || uk - lk < 2;
+  int action = must_leaf ? 0 : dqn_->SelectAction(state);
+  const size_t fanout = ActionFanout(action);
+
+  TreeTransition t;
+  t.state = state;
+  t.action = action;
+  if (fanout == 1) {
+    // Terminal: the full leaf cost is the (negative) reward.
+    t.terminal = true;
+    t.reward = static_cast<float>(
+        -LeafCost(keys.size(), config_.tau, config_.w_time, config_.w_mem));
+  } else {
+    // Non-terminal: immediate cost is the hop + this node's own memory;
+    // children carry the rest via the Eq. 3 weighted bootstrap.
+    t.terminal = false;
+    const double node_mem =
+        kInnerChildMemCost * static_cast<double>(fanout) /
+        std::max<double>(1.0, static_cast<double>(keys.size()));
+    t.reward = static_cast<float>(
+        -(config_.w_time * kInnerHopTimeCost + config_.w_mem * node_mem));
+    const double width = (static_cast<double>(uk) - static_cast<double>(lk)) /
+                         static_cast<double>(fanout);
+    for (size_t c = 0; c < fanout; ++c) {
+      const Key child_lo = c == 0 ? lk : lk + static_cast<Key>(width * c);
+      const Key child_hi =
+          c + 1 == fanout ? uk : lk + static_cast<Key>(width * (c + 1));
+      std::span<const Key> child_keys = Slice(keys, child_lo, child_hi);
+      if (child_keys.empty()) continue;
+      const float weight = static_cast<float>(child_keys.size()) /
+                           static_cast<float>(keys.size());
+      std::vector<float> child_state =
+          TrainEpisode(child_keys, child_lo, child_hi, depth + 1);
+      t.next_states.push_back({std::move(child_state), weight});
+    }
+  }
+  dqn_->AddTransition(std::move(t));
+  dqn_->TrainStep();
+  return state;
+}
+
+float TsmdpAgent::Train(std::span<const Key> keys, Key lk, Key uk,
+                        int episodes) {
+  float loss = 0.0f;
+  for (int e = 0; e < episodes; ++e) {
+    TrainEpisode(keys, lk, uk, 0);
+    loss = dqn_->TrainStep();
+  }
+  return loss;
+}
+
+}  // namespace chameleon

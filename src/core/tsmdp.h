@@ -1,0 +1,98 @@
+#ifndef CHAMELEON_CORE_TSMDP_H_
+#define CHAMELEON_CORE_TSMDP_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/rl/dqn.h"
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// Where fanout decisions come from.
+enum class PolicySource {
+  /// Deterministic: evaluate every action with the analytic cost model
+  /// and take the argmin. Fast and reproducible; the default for
+  /// benchmarks. (Functionally this is TSMDP with a perfect one-step
+  /// critic.)
+  kCostModel,
+  /// The trained DQN's greedy action (Sec. IV-B). Call Train() first —
+  /// an untrained network yields arbitrary but valid structures.
+  kDqn,
+};
+
+struct TsmdpConfig {
+  size_t state_buckets = 64;   // b_T (paper uses 256; scaled default)
+  double tau = 0.45;           // EBH collision-probability target
+  double w_time = 0.5;         // paper Table IV
+  double w_mem = 0.5;
+  PolicySource source = PolicySource::kCostModel;
+  size_t min_split_keys = 128; // below this a node is always a leaf
+  int max_depth = 8;           // subtree depth cap below the h-th level
+  uint64_t seed = 21;
+  DqnConfig dqn;               // state_dim/num_actions are filled in
+};
+
+/// The Tree-Structured MDP agent (Sec. IV-B): given the feature state of
+/// one index node (PDF histogram, key count, local skewness) it outputs
+/// the node's fanout from the discrete action set {2^0 ... 2^10}.
+class TsmdpAgent {
+ public:
+  /// The paper's action space {xi_0 ... xi_n} = powers of two up to 2^10.
+  static constexpr size_t kNumActions = 11;
+
+  explicit TsmdpAgent(TsmdpConfig config);
+
+  /// Fanout for action index a: 2^a.
+  static size_t ActionFanout(int action) { return size_t{1} << action; }
+
+  /// Decides the fanout for a node holding `keys` (sorted) covering the
+  /// interval [lk, uk). Returns 1 for "make this a leaf".
+  size_t ChooseFanout(std::span<const Key> keys, Key lk, Key uk,
+                      int depth = 0);
+
+  /// Runs `episodes` of DQN training on `keys` (one episode = one full
+  /// subtree construction with Boltzmann exploration; rewards from the
+  /// analytic cost model, tree-structured targets per Eq. 3). Returns
+  /// the mean training loss of the last episode.
+  float Train(std::span<const Key> keys, Key lk, Key uk, int episodes);
+
+  /// Cost-model argmin (exposed so kDqn mode tests can compare).
+  size_t CostModelFanout(std::span<const Key> keys, Key lk, Key uk,
+                         int depth) const;
+
+  /// Supplies a sorted sample of query keys; subsequent cost-model
+  /// fanout decisions weight child time costs by this traffic instead of
+  /// by key counts (the paper's query-distribution reward extension).
+  /// Pass an empty vector to revert to key-share weighting.
+  void SetAccessSample(std::vector<Key> sorted_query_keys);
+
+  bool workload_aware() const { return !access_sample_.empty(); }
+
+  const TsmdpConfig& config() const { return config_; }
+  TreeDqn& dqn() { return *dqn_; }
+
+ private:
+  /// Child key counts when splitting [lk, uk) into `fanout` equi-width
+  /// children, aggregated from a 1024-bucket histogram (all actions are
+  /// powers of two <= 1024, so bucket edges align exactly).
+  static std::vector<size_t> ChildCounts(std::span<const size_t> hist1024,
+                                         size_t fanout);
+  static std::vector<size_t> Hist1024(std::span<const Key> keys, Key lk,
+                                      Key uk);
+
+  /// One training episode: recursively decide/build over [begin, end).
+  /// Returns this node's state vector (for the parent's transition).
+  std::vector<float> TrainEpisode(std::span<const Key> keys, Key lk, Key uk,
+                                  int depth);
+
+  TsmdpConfig config_;
+  std::unique_ptr<TreeDqn> dqn_;
+  std::vector<Key> access_sample_;  // sorted query-key sample (optional)
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_CORE_TSMDP_H_

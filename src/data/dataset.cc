@@ -1,0 +1,180 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+// Builds a sorted unique key sequence by accumulating positive gaps.
+// Keeping every gap >= 1 guarantees strict monotonicity with no dedup
+// pass, which keeps generation O(n) even for very large n.
+std::vector<Key> FromGaps(size_t n, Rng* rng,
+                          const std::vector<double>& gap_menu,
+                          const std::vector<double>& gap_probs) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key current = 1'000'000;  // arbitrary non-zero base
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(current);
+    const double u = rng->NextDouble();
+    double acc = 0.0;
+    double gap = gap_menu.back();
+    for (size_t j = 0; j < gap_menu.size(); ++j) {
+      acc += gap_probs[j];
+      if (u < acc) {
+        gap = gap_menu[j];
+        break;
+      }
+    }
+    // Jitter the chosen gap by +-25% so gap values are not literally
+    // discrete (matters for CDF-learning baselines).
+    const double jittered = gap * rng->NextDouble(0.75, 1.25);
+    current += static_cast<Key>(std::max(1.0, jittered));
+  }
+  return keys;
+}
+
+std::vector<Key> GenerateUden(size_t n, uint64_t seed) {
+  // Near-evenly spaced keys with small jitter: sum of range/gap stays
+  // ~(n-1)^2, so lsn ~ arctan(1) = pi/4, matching the paper's UDEN.
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key current = 1'000'000;
+  constexpr double kMeanGap = 4096.0;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(current);
+    current += static_cast<Key>(rng.NextDouble(0.85, 1.15) * kMeanGap);
+  }
+  return keys;
+}
+
+std::vector<Key> GenerateOsmc(size_t n, uint64_t seed) {
+  // OpenStreetMap cell ids cluster around populated areas. A two-mode
+  // gap mixture (dense cells vs sparse cells) is tuned so that
+  // tan(lsn) = E[range/gap]/(n-1) lands near tan(2pi/5) ~ 3.08.
+  Rng rng(seed);
+  // ~ p*D + (1-p)^2 with p = .5, D = 5.8  =>  ratio ~ 3.15.
+  const double dense_gap = 1024.0 / 5.8;
+  const double sparse_gap = 2.0 * 1024.0;
+  return FromGaps(n, &rng, {dense_gap, sparse_gap}, {0.5, 0.5});
+}
+
+std::vector<Key> GenerateLogn(size_t n, uint64_t seed) {
+  // Lognormal *gaps*: for gap ~ LogNormal(mu, sigma) the skewness
+  // statistic satisfies tan(lsn) ~ E[g] * E[1/g] = e^{sigma^2}, so
+  // sigma = sqrt(ln(tan(12pi/25))) lands exactly on the paper's LOGN
+  // value. (Sampling lognormal *keys* directly saturates the metric at
+  // ~pi/2 for any sigma because the density near the mode makes minimum
+  // gaps collapse to 1.)
+  Rng rng(seed);
+  const double sigma = std::sqrt(std::log(std::tan(12.0 * M_PI / 25.0)));
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key current = 1'000'000;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(current);
+    const double gap = rng.NextLogNormal(std::log(1000.0), sigma);
+    current += static_cast<Key>(std::max(1.0, gap));
+  }
+  return keys;
+}
+
+std::vector<Key> GenerateFace(size_t n, uint64_t seed) {
+  // Facebook user ids are allocated in dense sequential bursts separated
+  // by very large gaps (and the SOSD version is upsampled, making runs
+  // denser still). Mixture tuned for tan(lsn) ~ tan(99pi/200) ~ 63.7:
+  // ratio ~ p*D + (1-p)^2 with p = 0.8, D = 80.
+  Rng rng(seed);
+  const double dense_gap = 65536.0 / 80.0;
+  const double sparse_gap = 4.0 * 65536.0;
+  return FromGaps(n, &rng, {dense_gap, sparse_gap}, {0.8, 0.2});
+}
+
+}  // namespace
+
+std::string_view DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUden: return "UDEN";
+    case DatasetKind::kOsmc: return "OSMC";
+    case DatasetKind::kLogn: return "LOGN";
+    case DatasetKind::kFace: return "FACE";
+  }
+  return "?";
+}
+
+double PaperLsn(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUden: return M_PI / 4.0;
+    case DatasetKind::kOsmc: return 2.0 * M_PI / 5.0;
+    case DatasetKind::kLogn: return 12.0 * M_PI / 25.0;
+    case DatasetKind::kFace: return 99.0 * M_PI / 200.0;
+  }
+  return 0.0;
+}
+
+std::vector<Key> GenerateDataset(DatasetKind kind, size_t n, uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kUden: return GenerateUden(n, seed);
+    case DatasetKind::kOsmc: return GenerateOsmc(n, seed);
+    case DatasetKind::kLogn: return GenerateLogn(n, seed);
+    case DatasetKind::kFace: return GenerateFace(n, seed);
+  }
+  return {};
+}
+
+std::vector<Key> GenerateClusteredSkew(size_t n, double cluster_sigma,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  constexpr double kRange = 1e15;
+  constexpr size_t kNumClusters = 64;
+  std::vector<double> centers(kNumClusters);
+  for (double& c : centers) c = rng.NextDouble(0.0, kRange);
+
+  std::vector<double> raw;
+  raw.reserve(n);
+  // Half the mass is a uniform backbone; half sits in normal clusters
+  // whose width is cluster_sigma * range (the Fig. 9 variance knob).
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      raw.push_back(rng.NextDouble(0.0, kRange));
+    } else {
+      const double center = centers[rng.NextBounded(kNumClusters)];
+      double v = center + rng.NextGaussian() * cluster_sigma * kRange;
+      // Reflect out-of-range samples back inside: clamping would pile
+      // duplicates on the boundaries and saturate the skewness metric.
+      v = std::abs(v);
+      v = std::fmod(v, 2.0 * kRange);
+      if (v > kRange) v = 2.0 * kRange - v;
+      raw.push_back(v);
+    }
+  }
+  std::sort(raw.begin(), raw.end());
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key prev = 0;
+  for (double v : raw) {
+    Key k = static_cast<Key>(v) + 1'000'000;
+    if (k <= prev) k = prev + 1;
+    keys.push_back(k);
+    prev = k;
+  }
+  return keys;
+}
+
+std::vector<KeyValue> ToKeyValues(std::span<const Key> keys) {
+  std::vector<KeyValue> out;
+  out.reserve(keys.size());
+  for (Key k : keys) {
+    // A cheap mix so payloads are not identical to keys (catches indexes
+    // that accidentally return the key as the payload).
+    out.push_back({k, k * 0x9E3779B97F4A7C15ULL + 1});
+  }
+  return out;
+}
+
+}  // namespace chameleon

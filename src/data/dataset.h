@@ -1,0 +1,53 @@
+#ifndef CHAMELEON_DATA_DATASET_H_
+#define CHAMELEON_DATA_DATASET_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// The four dataset families of the paper's evaluation (Sec. VI-A).
+///
+/// The paper uses two real SOSD datasets (OSMC, FACE) and two synthetic
+/// ones (UDEN, LOGN), each characterized by its local-skewness value lsn.
+/// We do not have the 200M-key SOSD files, so OSMC and FACE are replaced
+/// with synthetic generators tuned to land in the same lsn bands the
+/// paper reports (see DESIGN.md, "Substitutions"). Real SOSD binaries can
+/// be substituted via ReadSosdFile().
+enum class DatasetKind {
+  kUden,  ///< uniform,              lsn ~ pi/4      (~0.785)
+  kOsmc,  ///< OpenStreetMap-like,   lsn ~ 2pi/5     (~1.257)
+  kLogn,  ///< lognormal,            lsn ~ 12pi/25   (~1.508)
+  kFace,  ///< Facebook-ID-like,     lsn ~ 99pi/200  (~1.555)
+};
+
+inline constexpr DatasetKind kAllDatasets[] = {
+    DatasetKind::kUden, DatasetKind::kOsmc, DatasetKind::kLogn,
+    DatasetKind::kFace};
+
+/// Display name ("UDEN", "OSMC", ...).
+std::string_view DatasetName(DatasetKind kind);
+
+/// The lsn value the paper reports for this dataset family.
+double PaperLsn(DatasetKind kind);
+
+/// Generates `n` sorted, strictly unique 64-bit keys from the given
+/// family. Deterministic for a fixed (kind, n, seed).
+std::vector<Key> GenerateDataset(DatasetKind kind, size_t n, uint64_t seed);
+
+/// Fig. 9 generator: a uniform base with normally distributed clusters
+/// around random centers. `cluster_sigma` is the cluster standard
+/// deviation relative to the key range (smaller => tighter clusters =>
+/// higher local skewness). Returns sorted unique keys.
+std::vector<Key> GenerateClusteredSkew(size_t n, double cluster_sigma,
+                                       uint64_t seed);
+
+/// Pairs each key with a payload (value = key hashed) for bulk loading.
+std::vector<KeyValue> ToKeyValues(std::span<const Key> keys);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_DATA_DATASET_H_

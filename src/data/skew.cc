@@ -1,0 +1,78 @@
+#include "src/data/skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace chameleon {
+
+double LocalSkewness(std::span<const Key> keys) {
+  const size_t n = keys.size();
+  if (n < 2) return M_PI / 4.0;
+  const double range =
+      static_cast<double>(keys.back()) - static_cast<double>(keys.front());
+  if (range <= 0.0) return M_PI / 2.0 - 1e-12;
+  double sum = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    const double gap = std::max<double>(
+        1.0, static_cast<double>(keys[i]) - static_cast<double>(keys[i - 1]));
+    sum += range / gap;
+  }
+  const double denom = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  return std::atan(sum / denom);
+}
+
+double LocalSkewness(std::span<const KeyValue> data) {
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (const KeyValue& kv : data) keys.push_back(kv.key);
+  return LocalSkewness(std::span<const Key>(keys));
+}
+
+std::vector<float> PdfHistogram(std::span<const Key> keys, size_t num_buckets) {
+  if (keys.empty()) return std::vector<float>(num_buckets, 0.0f);
+  return PdfHistogram(keys, num_buckets, keys.front(), keys.back());
+}
+
+std::vector<float> PdfHistogram(std::span<const Key> keys, size_t num_buckets,
+                                Key lo_key, Key hi_key) {
+  std::vector<float> hist(num_buckets, 0.0f);
+  if (keys.empty() || num_buckets == 0) return hist;
+  const double lo = static_cast<double>(lo_key);
+  const double hi = static_cast<double>(hi_key);
+  const double range = hi - lo;
+  if (range <= 0.0) {
+    hist[0] = 1.0f;
+    return hist;
+  }
+  for (Key k : keys) {
+    size_t b = static_cast<size_t>((static_cast<double>(k) - lo) / range *
+                                   static_cast<double>(num_buckets));
+    if (b >= num_buckets) b = num_buckets - 1;
+    hist[b] += 1.0f;
+  }
+  const float inv = 1.0f / static_cast<float>(keys.size());
+  for (float& v : hist) v *= inv;
+  return hist;
+}
+
+std::vector<float> StateVector(std::span<const Key> keys, size_t num_buckets,
+                               Key lo, Key hi) {
+  std::vector<float> state = PdfHistogram(keys, num_buckets, lo, hi);
+  state.push_back(static_cast<float>(
+      std::log1p(static_cast<double>(keys.size())) / 20.0));
+  state.push_back(static_cast<float>(LocalSkewness(keys)));
+  return state;
+}
+
+std::vector<float> StateVector(std::span<const Key> keys, size_t num_buckets) {
+  std::vector<float> state = PdfHistogram(keys, num_buckets);
+  // log1p-scaled cardinality keeps the feature in a trainable range for
+  // dataset sizes from a few keys to hundreds of millions.
+  state.push_back(static_cast<float>(
+      std::log1p(static_cast<double>(keys.size())) / 20.0));
+  state.push_back(static_cast<float>(LocalSkewness(keys)));
+  return state;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,50 @@
+#ifndef CHAMELEON_DATA_SKEW_H_
+#define CHAMELEON_DATA_SKEW_H_
+
+#include <span>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// Local skewness metric from Definition 3 of the paper:
+///
+///   lsn = arctan( 1/(n-1)^2 * sum_{i=1}^{n-1} (Mk - mk) / (k_i - k_{i-1}) )
+///
+/// where Mk/mk are the max/min keys. The value lies in [pi/4, pi/2): a
+/// perfectly uniform dataset has every gap equal to (Mk-mk)/(n-1), making
+/// the sum (n-1)^2 and lsn = arctan(1) = pi/4; clustering inflates the
+/// reciprocal-gap sum and pushes lsn toward pi/2.
+///
+/// `keys` must be sorted ascending. Duplicate adjacent keys contribute a
+/// gap clamped to 1 (the metric is defined on unique keys; the clamp keeps
+/// it finite on degenerate inputs). Returns pi/4 for n < 2.
+double LocalSkewness(std::span<const Key> keys);
+
+/// Convenience overload over key/value pairs (uses only the keys).
+double LocalSkewness(std::span<const KeyValue> data);
+
+/// Equi-width PDF histogram of `keys` over [keys.front(), keys.back()],
+/// normalized to sum to 1. This is the distribution feature fed to the
+/// DARE / TSMDP agents (the paper's "PDF represented by buckets of size
+/// b_T / b_D"). Returns all-zeros histogram for empty input.
+std::vector<float> PdfHistogram(std::span<const Key> keys, size_t num_buckets);
+
+/// PdfHistogram over an explicit interval [lo, hi) instead of the key
+/// min/max (used for node states, whose intervals are set by the parent
+/// partition rather than the keys they happen to contain).
+std::vector<float> PdfHistogram(std::span<const Key> keys, size_t num_buckets,
+                                Key lo, Key hi);
+
+/// Assembles the RL state vector [PDF buckets..., log-scaled n, lsn]
+/// of size `num_buckets + 2` (Sec. IV-B "state space").
+std::vector<float> StateVector(std::span<const Key> keys, size_t num_buckets);
+
+/// StateVector with the PDF computed over the node interval [lo, hi).
+std::vector<float> StateVector(std::span<const Key> keys, size_t num_buckets,
+                               Key lo, Key hi);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_DATA_SKEW_H_

@@ -1,0 +1,178 @@
+#include "src/nn/mlp.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "src/util/random.h"
+
+namespace chameleon {
+
+Mlp::Mlp(std::vector<size_t> sizes, uint64_t seed) : sizes_(std::move(sizes)) {
+  assert(sizes_.size() >= 2);
+  Rng rng(seed);
+  layers_.resize(sizes_.size() - 1);
+  for (size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    DenseLayer& layer = layers_[l];
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0f);
+    const float stddev = std::sqrt(2.0f / static_cast<float>(layer.in));
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng.NextGaussian()) * stddev;
+    }
+  }
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> input) const {
+  MlpCache cache;
+  return Forward(input, &cache);
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> input,
+                                MlpCache* cache) const {
+  assert(input.size() == sizes_.front());
+  cache->activations.clear();
+  cache->pre_activations.clear();
+  cache->activations.emplace_back(input.begin(), input.end());
+
+  std::vector<float> current(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    std::vector<float> z(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      float acc = layer.bias[o];
+      const float* w_row = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) acc += w_row[i] * current[i];
+      z[o] = acc;
+    }
+    cache->pre_activations.push_back(z);
+    const bool is_last = (l + 1 == layers_.size());
+    if (!is_last) {
+      for (float& v : z) v = v > 0.0f ? v : 0.0f;  // ReLU
+    }
+    cache->activations.push_back(z);
+    current = std::move(z);
+  }
+  return current;
+}
+
+MlpGradients Mlp::ZeroGradients() const {
+  MlpGradients g;
+  g.layers.resize(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    g.layers[l].in = layers_[l].in;
+    g.layers[l].out = layers_[l].out;
+    g.layers[l].weights.assign(layers_[l].weights.size(), 0.0f);
+    g.layers[l].bias.assign(layers_[l].bias.size(), 0.0f);
+  }
+  return g;
+}
+
+void Mlp::Backward(const MlpCache& cache, std::span<const float> output_grad,
+                   MlpGradients* grads) const {
+  assert(output_grad.size() == sizes_.back());
+  assert(grads->layers.size() == layers_.size());
+
+  std::vector<float> delta(output_grad.begin(), output_grad.end());
+  for (size_t li = layers_.size(); li-- > 0;) {
+    const DenseLayer& layer = layers_[li];
+    const std::vector<float>& a_in = cache.activations[li];
+    // ReLU derivative applies to hidden layers only; the output layer is
+    // linear so delta passes through unchanged on the first iteration.
+    if (li + 1 < layers_.size()) {
+      const std::vector<float>& z = cache.pre_activations[li];
+      assert(z.size() == delta.size());
+      (void)z;
+    }
+    DenseLayer& g = grads->layers[li];
+    for (size_t o = 0; o < layer.out; ++o) {
+      g.bias[o] += delta[o];
+      float* gw_row = &g.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) gw_row[i] += delta[o] * a_in[i];
+    }
+    if (li == 0) break;
+    // Propagate to the previous layer's activations, then apply the
+    // previous layer's ReLU mask.
+    std::vector<float> prev(layer.in, 0.0f);
+    for (size_t o = 0; o < layer.out; ++o) {
+      const float* w_row = &layer.weights[o * layer.in];
+      const float d = delta[o];
+      for (size_t i = 0; i < layer.in; ++i) prev[i] += w_row[i] * d;
+    }
+    const std::vector<float>& z_prev = cache.pre_activations[li - 1];
+    for (size_t i = 0; i < prev.size(); ++i) {
+      if (z_prev[i] <= 0.0f) prev[i] = 0.0f;
+    }
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::ApplySgd(const MlpGradients& grads, float lr, float scale) {
+  const float step = lr * scale;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    for (size_t i = 0; i < layers_[l].weights.size(); ++i) {
+      layers_[l].weights[i] -= step * grads.layers[l].weights[i];
+    }
+    for (size_t i = 0; i < layers_[l].bias.size(); ++i) {
+      layers_[l].bias[i] -= step * grads.layers[l].bias[i];
+    }
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& other) { layers_ = other.layers_; }
+
+void Mlp::SoftUpdateFrom(const Mlp& other, float tau) {
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    for (size_t i = 0; i < layers_[l].weights.size(); ++i) {
+      layers_[l].weights[i] = (1.0f - tau) * layers_[l].weights[i] +
+                              tau * other.layers_[l].weights[i];
+    }
+    for (size_t i = 0; i < layers_[l].bias.size(); ++i) {
+      layers_[l].bias[i] =
+          (1.0f - tau) * layers_[l].bias[i] + tau * other.layers_[l].bias[i];
+    }
+  }
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t count = 0;
+  for (const DenseLayer& layer : layers_) {
+    count += layer.weights.size() + layer.bias.size();
+  }
+  return count;
+}
+
+AdamOptimizer::AdamOptimizer(Mlp* net, float lr, float beta1, float beta2,
+                             float eps)
+    : net_(net), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_ = net_->ZeroGradients();
+  v_ = net_->ZeroGradients();
+}
+
+void AdamOptimizer::Step(const MlpGradients& grads, float scale) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  auto update = [&](std::vector<float>& param, const std::vector<float>& g,
+                    std::vector<float>& m, std::vector<float>& v) {
+    for (size_t i = 0; i < param.size(); ++i) {
+      const float gi = g[i] * scale;
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      param[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  };
+  auto& layers = net_->layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    update(layers[l].weights, grads.layers[l].weights, m_.layers[l].weights,
+           v_.layers[l].weights);
+    update(layers[l].bias, grads.layers[l].bias, m_.layers[l].bias,
+           v_.layers[l].bias);
+  }
+}
+
+}  // namespace chameleon

@@ -1,0 +1,103 @@
+#ifndef CHAMELEON_NN_MLP_H_
+#define CHAMELEON_NN_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chameleon {
+
+/// Per-layer dense parameters: row-major weight matrix (out x in) plus
+/// bias vector (out).
+struct DenseLayer {
+  std::vector<float> weights;
+  std::vector<float> bias;
+  size_t in = 0;
+  size_t out = 0;
+};
+
+/// Gradients with the same shape as the network parameters.
+struct MlpGradients {
+  std::vector<DenseLayer> layers;
+};
+
+/// Cached activations from a training forward pass, consumed by
+/// Mlp::Backward.
+struct MlpCache {
+  // activations[0] is the input; activations[i] the output of layer i-1
+  // (post-ReLU for hidden layers, raw for the final layer).
+  std::vector<std::vector<float>> activations;
+  // Pre-activation values per layer (needed for the ReLU derivative).
+  std::vector<std::vector<float>> pre_activations;
+};
+
+/// A small fully connected network with ReLU hidden layers and a linear
+/// output layer, implemented from scratch (the paper trains its DQN
+/// agents on a GPU; a CPU MLP at these layer sizes is exact-equivalent
+/// and fast enough for index construction experiments).
+class Mlp {
+ public:
+  /// `sizes` = {input, hidden..., output}; at least 2 entries. He-normal
+  /// weight init, zero bias. Deterministic for a fixed seed.
+  Mlp(std::vector<size_t> sizes, uint64_t seed);
+
+  /// Inference-only forward pass.
+  std::vector<float> Forward(std::span<const float> input) const;
+
+  /// Forward pass that records activations for Backward.
+  std::vector<float> Forward(std::span<const float> input,
+                             MlpCache* cache) const;
+
+  /// Backpropagates `output_grad` (dLoss/dOutput) through the cached pass
+  /// and *accumulates* into `grads` (call ZeroLike first for a fresh
+  /// gradient buffer).
+  void Backward(const MlpCache& cache, std::span<const float> output_grad,
+                MlpGradients* grads) const;
+
+  /// Returns a zero gradient buffer matching this network's shape.
+  MlpGradients ZeroGradients() const;
+
+  /// Plain SGD step: params -= lr * grads (optionally scaled by 1/batch).
+  void ApplySgd(const MlpGradients& grads, float lr, float scale = 1.0f);
+
+  /// Hard-copies parameters from an identically shaped network (used for
+  /// DQN target-network sync).
+  void CopyFrom(const Mlp& other);
+
+  /// Polyak soft update: params = (1-tau)*params + tau*other.
+  void SoftUpdateFrom(const Mlp& other, float tau);
+
+  size_t input_size() const { return sizes_.front(); }
+  size_t output_size() const { return sizes_.back(); }
+  size_t ParameterCount() const;
+
+  /// Raw parameter access for serialization / tests.
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<size_t> sizes_;
+  std::vector<DenseLayer> layers_;
+};
+
+/// Adam optimizer bound to one Mlp instance.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(Mlp* net, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+
+  /// Applies one Adam step using `grads` (scaled by `scale`, e.g. 1/batch).
+  void Step(const MlpGradients& grads, float scale = 1.0f);
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  Mlp* net_;
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  MlpGradients m_, v_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_NN_MLP_H_

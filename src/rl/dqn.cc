@@ -1,0 +1,100 @@
+#include "src/rl/dqn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace chameleon {
+namespace {
+
+std::vector<size_t> BuildSizes(const DqnConfig& c) {
+  std::vector<size_t> sizes;
+  sizes.push_back(c.state_dim);
+  for (size_t h : c.hidden) sizes.push_back(h);
+  sizes.push_back(c.num_actions);
+  return sizes;
+}
+
+}  // namespace
+
+TreeDqn::TreeDqn(const DqnConfig& config)
+    : config_(config),
+      policy_(BuildSizes(config), config.seed),
+      target_(BuildSizes(config), config.seed),
+      optimizer_(&policy_, config.learning_rate),
+      replay_(config.replay_capacity, config.seed ^ 0xABCDEF),
+      rng_(config.seed ^ 0x123456) {
+  target_.CopyFrom(policy_);
+}
+
+std::vector<float> TreeDqn::QValues(std::span<const float> state) const {
+  return policy_.Forward(state);
+}
+
+int TreeDqn::SelectAction(std::span<const float> state) {
+  const std::vector<float> q = QValues(state);
+  const float temp = std::max(1e-3f, config_.boltzmann_temperature);
+  // Numerically stable softmax over q / temp.
+  float max_q = q[0];
+  for (float v : q) max_q = std::max(max_q, v);
+  std::vector<double> probs(q.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    probs[i] = std::exp(static_cast<double>((q[i] - max_q) / temp));
+    sum += probs[i];
+  }
+  double u = rng_.NextDouble() * sum;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(q.size()) - 1;
+}
+
+int TreeDqn::GreedyAction(std::span<const float> state) const {
+  const std::vector<float> q = QValues(state);
+  return static_cast<int>(
+      std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+float TreeDqn::TargetFor(const TreeTransition& t) const {
+  if (t.terminal || t.next_states.empty()) return t.reward;
+  // Eq. (3): discounted, key-share-weighted max over every child state.
+  float future = 0.0f;
+  for (const auto& [next_state, weight] : t.next_states) {
+    const std::vector<float> q = target_.Forward(next_state);
+    const float best = *std::max_element(q.begin(), q.end());
+    future += weight * best;
+  }
+  return t.reward + config_.gamma * future;
+}
+
+float TreeDqn::TrainStep() {
+  const std::vector<const TreeTransition*> batch =
+      replay_.Sample(config_.batch_size);
+  if (batch.empty()) return 0.0f;
+
+  MlpGradients grads = policy_.ZeroGradients();
+  float total_loss = 0.0f;
+  for (const TreeTransition* t : batch) {
+    MlpCache cache;
+    const std::vector<float> q = policy_.Forward(t->state, &cache);
+    const float target = TargetFor(*t);
+    const float pred = q[t->action];
+    const float err = pred - target;
+    total_loss += std::abs(err);
+    // MAE loss: dL/dpred = sign(pred - target), only on the taken action.
+    std::vector<float> out_grad(q.size(), 0.0f);
+    out_grad[t->action] = err > 0.0f ? 1.0f : (err < 0.0f ? -1.0f : 0.0f);
+    policy_.Backward(cache, out_grad, &grads);
+  }
+  optimizer_.Step(grads, 1.0f / static_cast<float>(batch.size()));
+
+  if (++steps_since_sync_ >= config_.target_sync_every) {
+    target_.CopyFrom(policy_);
+    steps_since_sync_ = 0;
+  }
+  return total_loss / static_cast<float>(batch.size());
+}
+
+}  // namespace chameleon

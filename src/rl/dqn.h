@@ -1,0 +1,87 @@
+#ifndef CHAMELEON_RL_DQN_H_
+#define CHAMELEON_RL_DQN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/nn/mlp.h"
+#include "src/rl/replay_buffer.h"
+
+namespace chameleon {
+
+/// A transition in the Tree-Structured MDP (Sec. IV-B2): taking `action`
+/// in `state` produced reward `reward` and a *set* of successor states
+/// (one per child node), each carrying the key-share weight w_z used in
+/// the Eq. (3) target. `terminal` marks fanout-1 (leaf) decisions.
+struct TreeTransition {
+  std::vector<float> state;
+  int action = 0;
+  float reward = 0.0f;
+  std::vector<std::pair<std::vector<float>, float>> next_states;  // (s', w)
+  bool terminal = false;
+};
+
+struct DqnConfig {
+  size_t state_dim = 0;
+  size_t num_actions = 0;
+  std::vector<size_t> hidden = {64, 64};
+  float learning_rate = 1e-4f;   // paper Table IV: eta = 1e-4
+  float gamma = 0.9f;            // paper Table IV: gamma = 0.9
+  size_t batch_size = 32;
+  size_t replay_capacity = 4096;
+  int target_sync_every = 64;    // paper's K steps
+  float boltzmann_temperature = 1.0f;
+  uint64_t seed = 7;
+};
+
+/// DQN over a tree-structured MDP with a policy network Q_T and a target
+/// network Qhat_T (Sec. IV-B3). The TD target for a non-terminal
+/// transition follows Eq. (3):
+///
+///   y = r + gamma * sum_z w_z * max_a' Qhat(s'_z, a')
+///
+/// trained with MAE loss, Boltzmann exploration, and periodic hard
+/// target-network synchronization.
+class TreeDqn {
+ public:
+  explicit TreeDqn(const DqnConfig& config);
+
+  /// Q-values for all actions from the policy network.
+  std::vector<float> QValues(std::span<const float> state) const;
+
+  /// Boltzmann (softmax) exploration over Q/temperature.
+  int SelectAction(std::span<const float> state);
+
+  /// argmax_a Q(state, a).
+  int GreedyAction(std::span<const float> state) const;
+
+  void AddTransition(TreeTransition t) { replay_.Add(std::move(t)); }
+
+  /// One optimization step on a replayed minibatch; returns the mean MAE
+  /// loss (0 if the buffer is empty). Synchronizes the target network
+  /// every `target_sync_every` steps.
+  float TrainStep();
+
+  size_t replay_size() const { return replay_.size(); }
+  const DqnConfig& config() const { return config_; }
+
+  /// Direct access for tests and checkpointing.
+  Mlp& policy_net() { return policy_; }
+  const Mlp& target_net() const { return target_; }
+
+ private:
+  float TargetFor(const TreeTransition& t) const;
+
+  DqnConfig config_;
+  Mlp policy_;
+  Mlp target_;
+  AdamOptimizer optimizer_;
+  ReplayBuffer<TreeTransition> replay_;
+  Rng rng_;
+  int steps_since_sync_ = 0;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_RL_DQN_H_

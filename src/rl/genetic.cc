@@ -1,0 +1,132 @@
+#include "src/rl/genetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace chameleon {
+
+GeneticOptimizer::GeneticOptimizer(std::vector<GeneBounds> bounds,
+                                   GaConfig config)
+    : bounds_(std::move(bounds)), config_(config), rng_(config.seed) {}
+
+std::vector<float> GeneticOptimizer::RandomGenome() {
+  std::vector<float> g(bounds_.size());
+  for (size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<float>(rng_.NextDouble(bounds_[i].lo, bounds_[i].hi));
+  }
+  return g;
+}
+
+void GeneticOptimizer::Clamp(std::vector<float>* g) const {
+  for (size_t i = 0; i < g->size(); ++i) {
+    (*g)[i] = std::clamp((*g)[i], bounds_[i].lo, bounds_[i].hi);
+  }
+}
+
+std::vector<float> GeneticOptimizer::PointMutate(const std::vector<float>& g) {
+  // Type-2 mutation: slight numeric perturbation of existing high-quality
+  // genes (Algorithm 1, "Mutation", second kind).
+  std::vector<float> out = g;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_.NextBernoulli(config_.point_mutation_rate)) {
+      const float span = bounds_[i].hi - bounds_[i].lo;
+      out[i] += static_cast<float>(rng_.NextGaussian() *
+                                   config_.point_mutation_scale * span);
+    }
+  }
+  Clamp(&out);
+  return out;
+}
+
+std::vector<float> GeneticOptimizer::Crossover(const std::vector<float>& a,
+                                               const std::vector<float>& b) {
+  std::vector<float> out(a.size());
+  if (rng_.NextBernoulli(0.5)) {
+    // Multi-point crossover: each chromosome comes from one parent.
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = rng_.NextBernoulli(0.5) ? a[i] : b[i];
+    }
+  } else {
+    // Numerical crossover within a chromosome: blend values.
+    for (size_t i = 0; i < out.size(); ++i) {
+      const float alpha = static_cast<float>(rng_.NextDouble());
+      out[i] = alpha * a[i] + (1.0f - alpha) * b[i];
+    }
+  }
+  Clamp(&out);
+  return out;
+}
+
+std::vector<float> GeneticOptimizer::Optimize(const FitnessFn& fitness) {
+  struct Scored {
+    std::vector<float> genome;
+    double fitness;
+  };
+
+  std::vector<Scored> population;
+  population.reserve(config_.population * 3);
+  for (size_t i = 0; i < config_.population; ++i) {
+    std::vector<float> g = RandomGenome();
+    const double f = fitness(g);
+    population.push_back({std::move(g), f});
+  }
+  auto by_fitness = [](const Scored& a, const Scored& b) {
+    return a.fitness > b.fitness;
+  };
+  std::sort(population.begin(), population.end(), by_fitness);
+
+  double best = population.front().fitness;
+  int stale = 0;
+  generations_run_ = 0;
+
+  for (size_t gen = 0; gen < config_.generations; ++gen) {
+    ++generations_run_;
+    std::vector<Scored> offspring;
+    // Type-1 mutation: inject entirely new genotypes.
+    const size_t fresh =
+        std::max<size_t>(1, static_cast<size_t>(config_.population *
+                                                config_.fresh_mutation_rate));
+    for (size_t i = 0; i < fresh; ++i) {
+      std::vector<float> g = RandomGenome();
+      const double f = fitness(g);
+      offspring.push_back({std::move(g), f});
+    }
+    // Type-2 mutation of survivors.
+    for (const Scored& parent : population) {
+      std::vector<float> g = PointMutate(parent.genome);
+      const double f = fitness(g);
+      offspring.push_back({std::move(g), f});
+    }
+    // Crossover between random survivor pairs.
+    const size_t crossings =
+        static_cast<size_t>(config_.population * config_.crossover_rate);
+    for (size_t i = 0; i < crossings; ++i) {
+      const Scored& a = population[rng_.NextBounded(population.size())];
+      const Scored& b = population[rng_.NextBounded(population.size())];
+      std::vector<float> g = Crossover(a.genome, b.genome);
+      const double f = fitness(g);
+      offspring.push_back({std::move(g), f});
+    }
+    // Selection: keep the top X of parents + offspring.
+    for (Scored& s : offspring) population.push_back(std::move(s));
+    std::sort(population.begin(), population.end(), by_fitness);
+    if (population.size() > config_.population) {
+      population.resize(config_.population);
+    }
+
+    const double new_best = population.front().fitness;
+    if (new_best > best + config_.convergence_eps) {
+      best = new_best;
+      stale = 0;
+    } else if (++stale >= config_.convergence_patience) {
+      break;  // converged (Algorithm 1, lines 9-10)
+    }
+  }
+
+  best_fitness_ = population.front().fitness;
+  return population.front().genome;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,71 @@
+#ifndef CHAMELEON_RL_GENETIC_H_
+#define CHAMELEON_RL_GENETIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace chameleon {
+
+/// Per-gene bounds; genes are clamped to [lo, hi] after every operator.
+struct GeneBounds {
+  float lo = 0.0f;
+  float hi = 1.0f;
+};
+
+struct GaConfig {
+  size_t population = 24;      // X in Algorithm 1
+  size_t generations = 30;     // K in Algorithm 1
+  double fresh_mutation_rate = 0.15;   // type-1 mutation (random genotype)
+  double point_mutation_rate = 0.20;   // type-2 mutation (slight change)
+  double point_mutation_scale = 0.10;  // relative perturbation size
+  double crossover_rate = 0.5;
+  // Convergence: stop when the best fitness has not improved by more
+  // than `convergence_eps` for `convergence_patience` generations.
+  double convergence_eps = 1e-6;
+  int convergence_patience = 8;
+  uint64_t seed = 17;
+};
+
+/// Fitness oracle; higher is better.
+using FitnessFn = std::function<double(std::span<const float>)>;
+
+/// Genetic algorithm over fixed-length float genomes, implementing the
+/// paper's Algorithm 1 (GetOptimizedParameters): the GA is DARE's
+/// *actor*, iteratively mutating/crossing candidate fanout parameter
+/// vectors and scoring them with a critic (Q_D or an analytic cost
+/// model) as the fitness function.
+class GeneticOptimizer {
+ public:
+  GeneticOptimizer(std::vector<GeneBounds> bounds, GaConfig config);
+
+  /// Runs Algorithm 1 and returns the best genome found.
+  std::vector<float> Optimize(const FitnessFn& fitness);
+
+  /// Best fitness from the last Optimize() call.
+  double best_fitness() const { return best_fitness_; }
+
+  /// Generations actually executed by the last Optimize() call (tests
+  /// use this to observe early convergence).
+  int generations_run() const { return generations_run_; }
+
+ private:
+  std::vector<float> RandomGenome();
+  std::vector<float> PointMutate(const std::vector<float>& g);
+  std::vector<float> Crossover(const std::vector<float>& a,
+                               const std::vector<float>& b);
+  void Clamp(std::vector<float>* g) const;
+
+  std::vector<GeneBounds> bounds_;
+  GaConfig config_;
+  Rng rng_;
+  double best_fitness_ = 0.0;
+  int generations_run_ = 0;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_RL_GENETIC_H_

@@ -1,0 +1,56 @@
+#ifndef CHAMELEON_RL_REPLAY_BUFFER_H_
+#define CHAMELEON_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace chameleon {
+
+/// Fixed-capacity experience replay ring buffer (Sec. IV-B3: "we adopt
+/// DQN with a technique known as experience replay"). Uniform sampling.
+template <typename TransitionT>
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {
+    items_.reserve(capacity);
+  }
+
+  void Add(TransitionT t) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(t));
+    } else {
+      items_[write_pos_] = std::move(t);
+    }
+    write_pos_ = (write_pos_ + 1) % capacity_;
+  }
+
+  /// Samples `batch` transitions uniformly with replacement. Returns
+  /// fewer (possibly zero) when the buffer holds fewer items than that.
+  std::vector<const TransitionT*> Sample(size_t batch) {
+    std::vector<const TransitionT*> out;
+    if (items_.empty()) return out;
+    const size_t count = batch < items_.size() ? batch : items_.size();
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      out.push_back(&items_[rng_.NextBounded(items_.size())]);
+    }
+    return out;
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  size_t capacity_;
+  size_t write_pos_ = 0;
+  std::vector<TransitionT> items_;
+  Rng rng_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,33 @@
+#ifndef CHAMELEON_UTIL_COMMON_H_
+#define CHAMELEON_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace chameleon {
+
+/// Index key type. All indexes in this repository operate on unsigned
+/// 64-bit keys, matching the SOSD benchmark convention the paper follows.
+using Key = uint64_t;
+
+/// Payload type associated with each key.
+using Value = uint64_t;
+
+/// A key/payload pair. Bulk loads take sorted spans of these.
+struct KeyValue {
+  Key key = 0;
+  Value value = 0;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+  friend bool operator<(const KeyValue& a, const KeyValue& b) {
+    return a.key < b.key;
+  }
+};
+
+inline constexpr Key kMinKey = 0;
+inline constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_COMMON_H_

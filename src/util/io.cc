@@ -1,0 +1,36 @@
+#include "src/util/io.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace chameleon {
+
+bool ReadSosdFile(const std::string& path, std::vector<Key>* keys) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return false;
+  }
+  keys->resize(count);
+  const size_t read = std::fread(keys->data(), sizeof(Key), count, f);
+  std::fclose(f);
+  if (read != count) {
+    keys->clear();
+    return false;
+  }
+  return true;
+}
+
+bool WriteSosdFile(const std::string& path, const std::vector<Key>& keys) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const uint64_t count = keys.size();
+  bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && std::fwrite(keys.data(), sizeof(Key), count, f) == count;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,20 @@
+#ifndef CHAMELEON_UTIL_IO_H_
+#define CHAMELEON_UTIL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// Reads a key file in SOSD binary format: a uint64 count followed by
+/// `count` little-endian uint64 keys. Returns false on I/O or format error.
+bool ReadSosdFile(const std::string& path, std::vector<Key>* keys);
+
+/// Writes keys in SOSD binary format. Returns false on I/O error.
+bool WriteSosdFile(const std::string& path, const std::vector<Key>& keys);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_IO_H_

@@ -1,0 +1,33 @@
+#include "src/util/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace chameleon {
+
+double LatencyRecorder::MeanNanos() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (int64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::PercentileNanos(double pct) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<int64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+double LatencyRecorder::MaxNanos() const {
+  if (samples_.empty()) return 0.0;
+  return static_cast<double>(*std::max_element(samples_.begin(), samples_.end()));
+}
+
+}  // namespace chameleon

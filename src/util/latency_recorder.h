@@ -1,0 +1,34 @@
+#ifndef CHAMELEON_UTIL_LATENCY_RECORDER_H_
+#define CHAMELEON_UTIL_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chameleon {
+
+/// Collects latency samples (nanoseconds) and reports summary statistics.
+/// Used by the benchmark harnesses to report the per-operation latency
+/// figures the paper plots (mean / tail).
+class LatencyRecorder {
+ public:
+  void Record(int64_t nanos) { samples_.push_back(nanos); }
+  void Clear() { samples_.clear(); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Arithmetic mean; 0 when empty.
+  double MeanNanos() const;
+
+  /// Percentile in [0, 100]; 0 when empty. Sorts a copy (call sparingly).
+  double PercentileNanos(double pct) const;
+
+  double MaxNanos() const;
+
+ private:
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_LATENCY_RECORDER_H_

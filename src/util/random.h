@@ -1,0 +1,62 @@
+#ifndef CHAMELEON_UTIL_RANDOM_H_
+#define CHAMELEON_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chameleon {
+
+/// Deterministic, seedable PRNG (xoshiro256++). Used everywhere in the
+/// repository instead of std::mt19937 so that dataset generation, RL
+/// exploration, and workload shuffles are reproducible across platforms.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform random 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal sample (Box-Muller with caching).
+  double NextGaussian();
+
+  /// Lognormal sample with the given log-space mean and stddev.
+  double NextLogNormal(double mu, double sigma);
+
+  /// True with probability `p`.
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed sampler over ranks [0, n). Precomputes the harmonic
+/// normalizer once; sampling is O(log n) via binary search on the CDF.
+class ZipfSampler {
+ public:
+  /// `theta` is the skew parameter (0 = uniform; 0.99 = typical YCSB skew).
+  ZipfSampler(size_t n, double theta, uint64_t seed);
+
+  /// Returns a rank in [0, n), rank 0 being the most popular.
+  size_t Sample();
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_RANDOM_H_

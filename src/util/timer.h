@@ -1,0 +1,34 @@
+#ifndef CHAMELEON_UTIL_TIMER_H_
+#define CHAMELEON_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace chameleon {
+
+/// Monotonic wall-clock time in nanoseconds.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch around the steady clock.
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+
+  void Reset() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_TIMER_H_

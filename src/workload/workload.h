@@ -1,0 +1,94 @@
+#ifndef CHAMELEON_WORKLOAD_WORKLOAD_H_
+#define CHAMELEON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+
+/// One operation in a generated workload stream.
+enum class OpType : uint8_t {
+  kLookup,
+  kInsert,
+  kErase,
+};
+
+struct Operation {
+  OpType type;
+  Key key;
+  Value value;
+};
+
+/// A named phase of operations (Fig. 13's batched workloads run several
+/// phases back to back and report per-phase latency).
+struct WorkloadPhase {
+  std::string name;
+  std::vector<Operation> ops;
+};
+
+/// Generates the paper's workload mixes (Sec. VI-A2). All generators are
+/// deterministic for a fixed seed and only emit *valid* operations when
+/// replayed in order against an index bulk-loaded with `loaded`:
+/// lookups/erases target keys present at that point in the stream, and
+/// inserts use fresh keys absent from the index.
+///
+/// The generator is stateful: successive calls continue from the key set
+/// left by the previous call, so a bench can chain e.g. MixedReadWrite
+/// segments without re-seeding.
+class WorkloadGenerator {
+ public:
+  /// `loaded` is the sorted key set the index is bulk-loaded with.
+  WorkloadGenerator(std::span<const Key> loaded, uint64_t seed);
+
+  /// Read-only workload: `num_ops` point lookups of present keys,
+  /// uniformly random (zipf_theta = 0) or Zipf-skewed over key ranks.
+  std::vector<Operation> ReadOnly(size_t num_ops, double zipf_theta = 0.0);
+
+  /// Mixed read/write workload with the paper's interleaving: for a write
+  /// ratio w = #writes/(#reads+#writes), each cycle of 10 operations
+  /// performs round(10*(1-w)) reads followed by alternating insertions
+  /// and deletions (e.g., w = 0.2 -> 8 reads, 1 insert, 1 delete).
+  std::vector<Operation> MixedReadWrite(size_t num_ops, double write_ratio);
+
+  /// Insert/delete workload with update ratio
+  /// u = #insertions/(#insertions+#deletions) (Fig. 12). u = 1 is
+  /// insert-only; u = 0 is delete-only (bounded by available keys).
+  std::vector<Operation> InsertDelete(size_t num_ops, double update_ratio);
+
+  /// Fig. 13 batched workload: inserts `pool_size` fresh keys in 4 equal
+  /// batches, running `queries_per_phase` lookups after each; then deletes
+  /// them again in 4 batches with lookups after each. Returns 16 phases
+  /// (insert/query x4, delete/query x4).
+  std::vector<WorkloadPhase> Batched(size_t pool_size,
+                                     size_t queries_per_phase);
+
+  /// Number of keys currently live (loaded plus net inserts/erases).
+  size_t live_keys() const { return present_.size(); }
+
+ private:
+  Operation MakeLookup();
+  Operation MakeInsert();
+  Operation MakeErase();
+
+  /// Returns a key not currently present (near an existing key, so fresh
+  /// keys follow the loaded distribution as updates do in the paper).
+  Key FreshKey();
+
+  void RemovePresentAt(size_t idx);
+
+  std::vector<Key> present_;
+  // Maps each present key to its slot in present_, kept consistent under
+  // swap-removes so erases of specific keys are O(1).
+  std::unordered_map<Key, size_t> pos_;
+  Rng rng_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_WORKLOAD_WORKLOAD_H_

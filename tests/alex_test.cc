@@ -1,0 +1,103 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/alex/alex.h"
+#include "src/data/dataset.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+TEST(AlexTest, GappedArrayShiftsAccumulateUnderInserts) {
+  AlexIndex index;
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 50'000; ++k) data.push_back({k * 16, k});
+  index.BulkLoad(data);
+  EXPECT_EQ(index.total_shifts(), 0u);
+  // Dense inserts into one region force gap shifting — the Fig. 1(b)
+  // behaviour.
+  for (Key k = 0; k < 5'000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 16 + 1, k));
+  }
+  EXPECT_GT(index.total_shifts(), 0u);
+}
+
+TEST(AlexTest, SkewDeepensTheTree) {
+  // Table V's qualitative claim: ALEX's height grows with local skew.
+  const std::vector<KeyValue> uniform =
+      ToKeyValues(GenerateDataset(DatasetKind::kUden, 200'000, 3));
+  const std::vector<KeyValue> skewed =
+      ToKeyValues(GenerateDataset(DatasetKind::kFace, 200'000, 3));
+  AlexIndex a, b;
+  a.BulkLoad(uniform);
+  b.BulkLoad(skewed);
+  EXPECT_GE(b.Stats().max_height, a.Stats().max_height);
+  // And model error grows with skew.
+  EXPECT_GT(b.Stats().max_error, a.Stats().max_error);
+}
+
+TEST(AlexTest, NodeSplitsKeepAllKeysReachable) {
+  AlexIndex::Config config;
+  config.max_leaf_keys = 256;
+  config.target_leaf_keys = 64;
+  AlexIndex index(config);
+  // Insert sequentially into an empty index: forces repeated expansion
+  // and splits through the root.
+  for (Key k = 0; k < 20'000; ++k) {
+    ASSERT_TRUE(index.Insert(k, k * 2)) << k;
+  }
+  EXPECT_GT(index.Stats().num_nodes, 10u);
+  for (Key k = 0; k < 20'000; k += 7) {
+    Value v = 0;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+}
+
+TEST(AlexTest, ExpansionRetrainsModel) {
+  AlexIndex::Config config;
+  config.max_leaf_keys = 100'000;  // avoid splits; force expansions
+  AlexIndex index(config);
+  Rng rng(5);
+  std::vector<Key> keys;
+  for (int i = 0; i < 10'000; ++i) {
+    const Key k = rng.NextBounded(1'000'000'000);
+    if (index.Insert(k, k)) keys.push_back(k);
+  }
+  for (Key k : keys) {
+    ASSERT_TRUE(index.Lookup(k, nullptr)) << k;
+  }
+  // After expansions, model error should stay moderate on uniform keys.
+  EXPECT_LT(index.Stats().avg_error, 64.0);
+}
+
+TEST(AlexTest, EraseRestoresGapInvariant) {
+  AlexIndex index;
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 1'000; ++k) data.push_back({k * 2, k});
+  index.BulkLoad(data);
+  // Erase a block, then lookups around it must still work.
+  for (Key k = 400; k < 600; ++k) ASSERT_TRUE(index.Erase(k * 2));
+  for (Key k = 0; k < 400; ++k) ASSERT_TRUE(index.Lookup(k * 2, nullptr));
+  for (Key k = 600; k < 1'000; ++k) ASSERT_TRUE(index.Lookup(k * 2, nullptr));
+  for (Key k = 400; k < 600; ++k) EXPECT_FALSE(index.Lookup(k * 2, nullptr));
+  // Reinsert into the emptied region.
+  for (Key k = 400; k < 600; ++k) ASSERT_TRUE(index.Insert(k * 2, 1));
+  EXPECT_EQ(index.size(), 1'000u);
+}
+
+TEST(AlexTest, DegenerateClusterFallsBackGracefully) {
+  // All keys in one tiny region of a huge range: equi-width partitioning
+  // makes no progress and ALEX must fall back to splittable data nodes.
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 30'000; ++k) data.push_back({5'000'000'000ULL + k, k});
+  AlexIndex index;
+  index.BulkLoad(data);
+  for (size_t i = 0; i < data.size(); i += 17) {
+    ASSERT_TRUE(index.Lookup(data[i].key, nullptr));
+  }
+}
+
+}  // namespace
+}  // namespace chameleon

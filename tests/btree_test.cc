@@ -1,0 +1,88 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/btree/btree.h"
+#include "src/data/dataset.h"
+
+namespace chameleon {
+namespace {
+
+TEST(BPlusTreeTest, SplitsGrowHeightLogarithmically) {
+  BPlusTree tree(/*leaf_capacity=*/8, /*inner_fanout=*/8);
+  for (Key k = 0; k < 4'096; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 2, k));
+  }
+  const IndexStats stats = tree.Stats();
+  // 4096 keys at fanout 8: height ~ log_8(4096/8) + 1 in [3, 6].
+  EXPECT_GE(stats.max_height, 3);
+  EXPECT_LE(stats.max_height, 6);
+  EXPECT_EQ(tree.size(), 4'096u);
+  for (Key k = 0; k < 4'096; ++k) {
+    ASSERT_TRUE(tree.Lookup(k * 2, nullptr));
+    ASSERT_FALSE(tree.Lookup(k * 2 + 1, nullptr));
+  }
+}
+
+TEST(BPlusTreeTest, BulkLoadBuildsBalancedTree) {
+  BPlusTree tree(32, 32);
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kFace, 100'000, 5));
+  tree.BulkLoad(data);
+  const IndexStats stats = tree.Stats();
+  // All leaves are at the same depth after bulk load.
+  EXPECT_NEAR(stats.avg_height, stats.max_height, 1e-9);
+}
+
+TEST(BPlusTreeTest, DrainCompletelyThenReuse) {
+  BPlusTree tree(8, 8);
+  std::vector<KeyValue> data;
+  for (Key k = 1; k <= 1'000; ++k) data.push_back({k, k});
+  tree.BulkLoad(data);
+  for (Key k = 1; k <= 1'000; ++k) {
+    ASSERT_TRUE(tree.Erase(k)) << k;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Lookup(500, nullptr));
+  // Reusable after drain.
+  EXPECT_TRUE(tree.Insert(7, 70));
+  Value v = 0;
+  EXPECT_TRUE(tree.Lookup(7, &v));
+  EXPECT_EQ(v, 70u);
+}
+
+TEST(BPlusTreeTest, EraseInReverseOrder) {
+  // Exercises empty-node removal along the right spine.
+  BPlusTree tree(4, 4);
+  for (Key k = 0; k < 500; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  for (Key k = 500; k-- > 0;) {
+    ASSERT_TRUE(tree.Erase(k)) << k;
+    if (k > 0) {
+      ASSERT_TRUE(tree.Lookup(k - 1, nullptr));
+    }
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BPlusTreeTest, RangeScanAcrossManyLeaves) {
+  BPlusTree tree(8, 8);
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 2'000; ++k) data.push_back({k * 3, k});
+  tree.BulkLoad(data);
+  std::vector<KeyValue> out;
+  const size_t n = tree.RangeScan(300, 900, &out);
+  EXPECT_EQ(n, 201u);  // 300, 303, ..., 900
+  EXPECT_EQ(out.front().key, 300u);
+  EXPECT_EQ(out.back().key, 900u);
+}
+
+TEST(BPlusTreeTest, ZeroModelError) {
+  BPlusTree tree;
+  tree.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kLogn, 10'000, 1)));
+  const IndexStats stats = tree.Stats();
+  EXPECT_EQ(stats.max_error, 0.0);
+  EXPECT_EQ(stats.avg_error, 0.0);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,84 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/skew.h"
+
+namespace chameleon {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetTest, SortedUniqueExactCount) {
+  const std::vector<Key> keys = GenerateDataset(GetParam(), 50'000, 42);
+  ASSERT_EQ(keys.size(), 50'000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]) << "at " << i;
+  }
+}
+
+TEST_P(DatasetTest, DeterministicPerSeed) {
+  const std::vector<Key> a = GenerateDataset(GetParam(), 10'000, 9);
+  const std::vector<Key> b = GenerateDataset(GetParam(), 10'000, 9);
+  const std::vector<Key> c = GenerateDataset(GetParam(), 10'000, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_P(DatasetTest, KeysFitDoublePrecision) {
+  // All index models do double arithmetic on keys; generators must stay
+  // below 2^53 even at full (200M) scale extrapolated from gaps.
+  const std::vector<Key> keys = GenerateDataset(GetParam(), 100'000, 1);
+  EXPECT_LT(static_cast<double>(keys.back()),
+            9.0e15);  // 2^53 ~ 9.007e15
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetTest,
+                         ::testing::ValuesIn(std::vector<DatasetKind>(
+                             std::begin(kAllDatasets),
+                             std::end(kAllDatasets))),
+                         [](const auto& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+TEST(ClusteredSkewTest, SmallerSigmaMeansMoreSkew) {
+  // Fig. 9's knob: tighter clusters => higher local skewness.
+  const double wide = LocalSkewness(
+      std::vector<Key>(GenerateClusteredSkew(100'000, 1e-2, 3)));
+  const double mid = LocalSkewness(
+      std::vector<Key>(GenerateClusteredSkew(100'000, 1e-5, 3)));
+  const double tight = LocalSkewness(
+      std::vector<Key>(GenerateClusteredSkew(100'000, 1e-8, 3)));
+  EXPECT_LT(wide, mid);
+  EXPECT_LT(mid, tight);
+}
+
+TEST(ClusteredSkewTest, SortedUnique) {
+  const std::vector<Key> keys = GenerateClusteredSkew(20'000, 1e-6, 5);
+  ASSERT_EQ(keys.size(), 20'000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST(ToKeyValuesTest, PayloadConvention) {
+  const std::vector<Key> keys = {1, 2, 3};
+  const std::vector<KeyValue> kvs = ToKeyValues(keys);
+  ASSERT_EQ(kvs.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(kvs[i].key, keys[i]);
+    EXPECT_EQ(kvs[i].value, keys[i] * 0x9E3779B97F4A7C15ULL + 1);
+  }
+}
+
+TEST(PaperLsnTest, ReportedConstants) {
+  EXPECT_NEAR(PaperLsn(DatasetKind::kUden), 0.7853981, 1e-6);
+  EXPECT_NEAR(PaperLsn(DatasetKind::kOsmc), 1.2566370, 1e-6);
+  EXPECT_NEAR(PaperLsn(DatasetKind::kLogn), 1.5079644, 1e-6);
+  EXPECT_NEAR(PaperLsn(DatasetKind::kFace), 1.5550883, 1e-6);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,165 @@
+// Structure-specific tests for the DILI, FINEdex, and DIC baselines.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/dic/dic.h"
+#include "src/baselines/dili/dili.h"
+#include "src/baselines/finedex/finedex.h"
+#include "src/data/dataset.h"
+
+namespace chameleon {
+namespace {
+
+// --- DILI -------------------------------------------------------------------
+
+TEST(DiliTest, BottomUpSegmentationDrivesChildCount) {
+  // More local structure (FACE) => more BU segments => more children
+  // than a near-linear dataset at the same cardinality.
+  DiliIndex a, b;
+  a.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kUden, 100'000, 3)));
+  b.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kFace, 100'000, 3)));
+  EXPECT_GT(b.Stats().num_nodes, a.Stats().num_nodes);
+}
+
+TEST(DiliTest, ExactLeavesZeroError) {
+  DiliIndex index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kLogn, 50'000, 5)));
+  EXPECT_EQ(index.Stats().max_error, 0.0);
+}
+
+TEST(DiliTest, BoundaryKeysRouteCorrectly) {
+  DiliIndex::Config config;
+  config.segments_per_child = 4;  // many children
+  DiliIndex index(config);
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 50'000; ++k) data.push_back({k * 7, k});
+  index.BulkLoad(data);
+  // Every key, including those at child boundaries, must be found.
+  for (const KeyValue& kv : data) {
+    ASSERT_TRUE(index.Lookup(kv.key, nullptr)) << kv.key;
+  }
+  // Keys outside the loaded range.
+  EXPECT_FALSE(index.Lookup(50'000 * 7 + 1, nullptr));
+  EXPECT_TRUE(index.Insert(50'000 * 7 + 1, 1));
+  EXPECT_TRUE(index.Lookup(50'000 * 7 + 1, nullptr));
+}
+
+TEST(DiliTest, HeightIsFrameLevelPlusLippSubtree) {
+  DiliIndex index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kOsmc, 50'000, 7)));
+  EXPECT_GE(index.Stats().max_height, 2);
+}
+
+// --- FINEdex ----------------------------------------------------------------
+
+TEST(FinedexTest, LevelBinsAbsorbInsertsUntilMerge) {
+  FinedexIndex::Config config;
+  config.group_size = 128;
+  config.bin_capacity = 32;
+  FinedexIndex index(config);
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 10'000; ++k) data.push_back({k * 10, k});
+  index.BulkLoad(data);
+  EXPECT_EQ(index.total_retrains(), 0u);
+  // A few inserts per group stay in bins (no retrain yet).
+  for (Key k = 0; k < 20; ++k) {
+    ASSERT_TRUE(index.Insert(k * 10 + 5, k));
+  }
+  EXPECT_EQ(index.total_retrains(), 0u);
+  // Hammer one group until its bin overflows.
+  size_t inserted = 0;
+  for (Key k = 0; inserted < 40; ++k) {
+    if (index.Insert(3 + k, k)) ++inserted;
+  }
+  EXPECT_GT(index.total_retrains(), 0u);
+}
+
+TEST(FinedexTest, GroupSplitKeepsOrder) {
+  FinedexIndex::Config config;
+  config.group_size = 64;
+  config.bin_capacity = 16;
+  FinedexIndex index(config);
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 1'000; ++k) data.push_back({k * 100, k});
+  index.BulkLoad(data);
+  // Flood one region to force group splits (odd keys only, so they
+  // never collide with the loaded multiples of 100).
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(index.Insert(50'001 + 2 * k, k));
+  }
+  std::vector<KeyValue> out;
+  index.RangeScan(0, kMaxKey, &out);
+  EXPECT_EQ(out.size(), 1'500u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(FinedexTest, FlatStructureConstantHeight) {
+  FinedexIndex index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kFace, 80'000, 9)));
+  EXPECT_EQ(index.Stats().max_height, 2);
+}
+
+TEST(FinedexTest, EraseFromRunAndBin) {
+  FinedexIndex index;
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 1'000; ++k) data.push_back({k * 4, k});
+  index.BulkLoad(data);
+  ASSERT_TRUE(index.Insert(2, 99));   // lands in a bin
+  ASSERT_TRUE(index.Erase(2));        // bin erase
+  ASSERT_TRUE(index.Erase(400));      // run erase
+  EXPECT_FALSE(index.Lookup(2, nullptr));
+  EXPECT_FALSE(index.Lookup(400, nullptr));
+  // Neighbors survive the run shift.
+  EXPECT_TRUE(index.Lookup(396, nullptr));
+  EXPECT_TRUE(index.Lookup(404, nullptr));
+  EXPECT_EQ(index.size(), 999u);
+}
+
+// --- DIC --------------------------------------------------------------------
+
+TEST(DicTest, RlConstructionProducesWorkingHybrid) {
+  DicIndex index;
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kOsmc, 30'000, 11));
+  index.BulkLoad(data);
+  for (size_t i = 0; i < data.size(); i += 13) {
+    Value v = 0;
+    ASSERT_TRUE(index.Lookup(data[i].key, &v));
+    EXPECT_EQ(v, data[i].value);
+  }
+  const IndexStats stats = index.Stats();
+  EXPECT_GE(stats.max_height, 1);
+  EXPECT_GE(stats.num_nodes, 1u);
+}
+
+TEST(DicTest, DeterministicForSeed) {
+  DicIndex::Config config;
+  config.seed = 77;
+  DicIndex a(config), b(config);
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kUden, 20'000, 13));
+  a.BulkLoad(data);
+  b.BulkLoad(data);
+  EXPECT_EQ(a.Stats().num_nodes, b.Stats().num_nodes);
+  EXPECT_EQ(a.Stats().max_height, b.Stats().max_height);
+}
+
+TEST(DicTest, DeltaBufferRebuildThreshold) {
+  DicIndex index;
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 10'000; ++k) data.push_back({k * 8, k});
+  index.BulkLoad(data);
+  // Push past the rebuild threshold (max(4096, n/8)).
+  for (Key k = 0; k < 5'000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 8 + 3, k));
+  }
+  EXPECT_EQ(index.size(), 15'000u);
+  for (Key k = 0; k < 5'000; k += 11) {
+    ASSERT_TRUE(index.Lookup(k * 8 + 3, nullptr));
+  }
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,56 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/api/index_factory.h"
+
+namespace chameleon {
+namespace {
+
+TEST(IndexFactoryTest, EveryListedNameResolves) {
+  for (const std::string& name : AllIndexNames()) {
+    std::unique_ptr<KvIndex> index = MakeIndex(name);
+    ASSERT_NE(index, nullptr) << name;
+    EXPECT_EQ(index->Name(), name) << "display name mismatch";
+    EXPECT_EQ(index->size(), 0u);
+  }
+}
+
+TEST(IndexFactoryTest, UnknownNamesRejected) {
+  EXPECT_EQ(MakeIndex(""), nullptr);
+  EXPECT_EQ(MakeIndex("RMI"), nullptr);
+  EXPECT_EQ(MakeIndex("btree"), nullptr);  // case-sensitive
+}
+
+TEST(IndexFactoryTest, ChaDatsAliasesToChameleon) {
+  std::unique_ptr<KvIndex> index = MakeIndex("ChaDATS");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Name(), "Chameleon");
+}
+
+TEST(IndexFactoryTest, UpdatableIsSubsetExcludingStatic) {
+  const std::set<std::string> all = [] {
+    std::set<std::string> s;
+    for (const auto& n : AllIndexNames()) s.insert(n);
+    return s;
+  }();
+  for (const std::string& name : UpdatableIndexNames()) {
+    EXPECT_TRUE(all.contains(name)) << name;
+  }
+  // The paper excludes RS and DIC from dynamic experiments.
+  const auto updatable = UpdatableIndexNames();
+  EXPECT_EQ(std::count(updatable.begin(), updatable.end(), "RS"), 0);
+  EXPECT_EQ(std::count(updatable.begin(), updatable.end(), "DIC"), 0);
+}
+
+TEST(IndexFactoryTest, InstancesAreIndependent) {
+  std::unique_ptr<KvIndex> a = MakeIndex("B+Tree");
+  std::unique_ptr<KvIndex> b = MakeIndex("B+Tree");
+  ASSERT_TRUE(a->Insert(1, 1));
+  EXPECT_FALSE(b->Lookup(1, nullptr));
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,199 @@
+// Cross-implementation conformance suite: every index (Chameleon, its
+// ablations, and all eight baselines) is exercised against a std::map
+// reference over every dataset family. These are the integration tests
+// that pin down the KvIndex contract.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/index_factory.h"
+#include "src/api/kv_index.h"
+#include "src/data/dataset.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace chameleon {
+namespace {
+
+using Param = std::tuple<std::string, DatasetKind>;
+
+class ConformanceTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<KvIndex> index_;
+  std::vector<KeyValue> data_;
+
+  void SetUp() override {
+    const auto& [name, kind] = GetParam();
+    index_ = MakeIndex(name);
+    ASSERT_NE(index_, nullptr) << name;
+    const std::vector<Key> keys = GenerateDataset(kind, 20'000, /*seed=*/7);
+    data_ = ToKeyValues(keys);
+    index_->BulkLoad(data_);
+  }
+};
+
+TEST_P(ConformanceTest, BulkLoadThenLookupEveryKey) {
+  EXPECT_EQ(index_->size(), data_.size());
+  for (size_t i = 0; i < data_.size(); i += 7) {
+    Value v = 0;
+    ASSERT_TRUE(index_->Lookup(data_[i].key, &v)) << "key index " << i;
+    EXPECT_EQ(v, data_[i].value);
+  }
+}
+
+TEST_P(ConformanceTest, NegativeLookups) {
+  Rng rng(99);
+  size_t checked = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    const Key probe = rng.Next() >> 4;
+    const bool present = std::binary_search(
+        data_.begin(), data_.end(), KeyValue{probe, 0},
+        [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+    if (present) continue;
+    ++checked;
+    EXPECT_FALSE(index_->Lookup(probe, nullptr)) << "phantom key " << probe;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(ConformanceTest, InsertLookupEraseCycle) {
+  WorkloadGenerator gen(std::vector<Key>{}, 3);
+  Rng rng(5);
+  // Fresh keys derived near existing ones.
+  std::vector<Key> fresh;
+  for (int i = 0; i < 500; ++i) {
+    Key k = data_[rng.NextBounded(data_.size())].key + 1;
+    while (std::binary_search(
+        data_.begin(), data_.end(), KeyValue{k, 0},
+        [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; })) {
+      ++k;
+    }
+    fresh.push_back(k);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+
+  for (Key k : fresh) {
+    ASSERT_TRUE(index_->Insert(k, k * 3)) << k;
+  }
+  for (Key k : fresh) {
+    Value v = 0;
+    ASSERT_TRUE(index_->Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k * 3);
+  }
+  // Duplicate inserts must be rejected.
+  EXPECT_FALSE(index_->Insert(fresh.front(), 1));
+  EXPECT_FALSE(index_->Insert(data_.front().key, 1));
+
+  for (Key k : fresh) {
+    ASSERT_TRUE(index_->Erase(k)) << k;
+    EXPECT_FALSE(index_->Lookup(k, nullptr)) << k;
+  }
+  // Erasing twice fails.
+  EXPECT_FALSE(index_->Erase(fresh.front()));
+  EXPECT_EQ(index_->size(), data_.size());
+}
+
+TEST_P(ConformanceTest, RandomizedCrudMatchesReference) {
+  std::map<Key, Value> reference(
+      [&] {
+        std::map<Key, Value> m;
+        for (const KeyValue& kv : data_) m[kv.key] = kv.value;
+        return m;
+      }());
+  Rng rng(11);
+  for (int op = 0; op < 4'000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      // Lookup of a (probably) existing key.
+      const Key k = data_[rng.NextBounded(data_.size())].key;
+      Value v = 0;
+      const bool got = index_->Lookup(k, &v);
+      const auto it = reference.find(k);
+      ASSERT_EQ(got, it != reference.end()) << k;
+      if (got) {
+        EXPECT_EQ(v, it->second);
+      }
+    } else if (dice < 0.8) {
+      // Insert a random key (may or may not exist).
+      const Key k = data_[rng.NextBounded(data_.size())].key +
+                    rng.NextBounded(64);
+      const Value v = k ^ 0xABCD;
+      const bool inserted = index_->Insert(k, v);
+      const bool expected = !reference.contains(k);
+      ASSERT_EQ(inserted, expected) << k;
+      if (inserted) reference[k] = v;
+    } else {
+      // Erase a random key.
+      const Key k = data_[rng.NextBounded(data_.size())].key +
+                    rng.NextBounded(64);
+      const bool erased = index_->Erase(k);
+      ASSERT_EQ(erased, reference.erase(k) > 0) << k;
+    }
+    ASSERT_EQ(index_->size(), reference.size());
+  }
+}
+
+TEST_P(ConformanceTest, RangeScanMatchesReference) {
+  Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    const size_t a = rng.NextBounded(data_.size());
+    const size_t b = std::min(data_.size() - 1, a + rng.NextBounded(500));
+    const Key lo = data_[a].key;
+    const Key hi = data_[b].key;
+    std::vector<KeyValue> got;
+    const size_t n = index_->RangeScan(lo, hi, &got);
+    ASSERT_EQ(n, got.size());
+    // Reference: the slice of data_ in [lo, hi].
+    std::vector<KeyValue> expected;
+    for (size_t j = a; j <= b; ++j) expected.push_back(data_[j]);
+    ASSERT_EQ(got.size(), expected.size()) << "range [" << lo << "," << hi
+                                           << "]";
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    for (size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(got[j].key, expected[j].key);
+      ASSERT_EQ(got[j].value, expected[j].value);
+    }
+  }
+}
+
+TEST_P(ConformanceTest, StatsAndSizeAreSane) {
+  const IndexStats stats = index_->Stats();
+  EXPECT_GE(stats.max_height, 1);
+  EXPECT_GE(stats.num_nodes, 1u);
+  EXPECT_GE(stats.avg_height, 0.99);
+  EXPECT_LE(stats.avg_height, static_cast<double>(stats.max_height) + 1e-9);
+  EXPECT_GE(stats.max_error, stats.avg_error - 1e-9);
+  // The index must account at least for the payloads it stores.
+  EXPECT_GE(index_->SizeBytes(), data_.size() * sizeof(Value) / 2);
+}
+
+std::vector<Param> AllParams() {
+  std::vector<Param> params;
+  for (const std::string& name : AllIndexNames()) {
+    for (DatasetKind kind : kAllDatasets) {
+      params.push_back({name, kind});
+    }
+  }
+  return params;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_" + std::string(DatasetName(std::get<1>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexesAllDatasets, ConformanceTest,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+}  // namespace
+}  // namespace chameleon

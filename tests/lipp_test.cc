@@ -1,0 +1,81 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/lipp/lipp.h"
+#include "src/data/dataset.h"
+
+namespace chameleon {
+namespace {
+
+TEST(LippTest, ExactPositionsZeroError) {
+  LippIndex index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kFace, 100'000, 3)));
+  const IndexStats stats = index.Stats();
+  EXPECT_EQ(stats.max_error, 0.0);
+  EXPECT_EQ(stats.avg_error, 0.0);
+}
+
+TEST(LippTest, ConflictsCreateChildrenDownward) {
+  // Densely clustered keys collide under the per-node linear model and
+  // must split downward — Table V's "LIPP grows deep under skew".
+  const std::vector<KeyValue> uniform =
+      ToKeyValues(GenerateDataset(DatasetKind::kUden, 100'000, 5));
+  const std::vector<KeyValue> skewed =
+      ToKeyValues(GenerateDataset(DatasetKind::kFace, 100'000, 5));
+  LippIndex a, b;
+  a.BulkLoad(uniform);
+  b.BulkLoad(skewed);
+  EXPECT_GE(b.Stats().max_height, a.Stats().max_height);
+  EXPECT_GT(b.Stats().num_nodes, 1u);
+}
+
+TEST(LippTest, InsertConflictPushesBothRecordsDown) {
+  LippIndex index;
+  std::vector<KeyValue> data = {{100, 1}, {200, 2}, {300, 3}};
+  index.BulkLoad(data);
+  // Keys mapping to an occupied slot must trigger a child split, and
+  // both records stay reachable.
+  for (Key k = 101; k < 160; ++k) {
+    ASSERT_TRUE(index.Insert(k, k)) << k;
+  }
+  for (Key k = 101; k < 160; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+  ASSERT_TRUE(index.Lookup(100, nullptr));
+}
+
+TEST(LippTest, AdjustmentRebuildRestoresShallowness) {
+  LippIndex::Config config;
+  config.rebuild_factor = 0.5;  // aggressive adjustment
+  LippIndex index(config);
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 10'000; ++k) data.push_back({k * 1'000, k});
+  index.BulkLoad(data);
+  // Insert heavily into one narrow region (odd keys, so they never
+  // collide with the loaded multiples of 1000); the subtree rebuild must
+  // keep everything reachable.
+  for (Key k = 0; k < 5'000; ++k) {
+    ASSERT_TRUE(index.Insert(5'000'001 + 2 * k, k));
+  }
+  for (Key k = 0; k < 5'000; k += 3) {
+    ASSERT_TRUE(index.Lookup(5'000'001 + 2 * k, nullptr)) << k;
+  }
+  for (Key k = 0; k < 10'000; k += 7) {
+    ASSERT_TRUE(index.Lookup(k * 1'000, nullptr)) << k;
+  }
+}
+
+TEST(LippTest, RangeScanIsSorted) {
+  LippIndex index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kLogn, 20'000, 7)));
+  std::vector<KeyValue> out;
+  index.RangeScan(0, kMaxKey, &out);
+  EXPECT_EQ(out.size(), 20'000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,132 @@
+// Tests for the from-scratch neural-network substrate, including a
+// finite-difference gradient check.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/mlp.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+TEST(MlpTest, ShapesAndDeterminism) {
+  Mlp a({4, 8, 3}, 7);
+  Mlp b({4, 8, 3}, 7);
+  EXPECT_EQ(a.input_size(), 4u);
+  EXPECT_EQ(a.output_size(), 3u);
+  EXPECT_EQ(a.ParameterCount(), 4u * 8 + 8 + 8 * 3 + 3);
+  const std::vector<float> x = {0.1f, -0.2f, 0.3f, 0.4f};
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifferences) {
+  Mlp net({3, 5, 2}, 13);
+  const std::vector<float> x = {0.5f, -0.3f, 0.8f};
+  const std::vector<float> target = {1.0f, -1.0f};
+
+  // Loss = 0.5 * sum (out - target)^2; dL/dout = out - target.
+  auto loss_of = [&](const Mlp& m) {
+    const std::vector<float> out = m.Forward(x);
+    float l = 0.0f;
+    for (size_t i = 0; i < out.size(); ++i) {
+      l += 0.5f * (out[i] - target[i]) * (out[i] - target[i]);
+    }
+    return l;
+  };
+
+  MlpCache cache;
+  const std::vector<float> out = net.Forward(x, &cache);
+  std::vector<float> out_grad(out.size());
+  for (size_t i = 0; i < out.size(); ++i) out_grad[i] = out[i] - target[i];
+  MlpGradients grads = net.ZeroGradients();
+  net.Backward(cache, out_grad, &grads);
+
+  // Check a sample of weights in every layer against central differences.
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (size_t l = 0; l < net.layers().size(); ++l) {
+    for (size_t i = 0; i < net.layers()[l].weights.size(); i += 3) {
+      Mlp plus = net, minus = net;
+      plus.layers()[l].weights[i] += eps;
+      minus.layers()[l].weights[i] -= eps;
+      const float numeric = (loss_of(plus) - loss_of(minus)) / (2 * eps);
+      EXPECT_NEAR(grads.layers[l].weights[i], numeric, 2e-2f)
+          << "layer " << l << " weight " << i;
+      ++checked;
+    }
+    for (size_t i = 0; i < net.layers()[l].bias.size(); i += 2) {
+      Mlp plus = net, minus = net;
+      plus.layers()[l].bias[i] += eps;
+      minus.layers()[l].bias[i] -= eps;
+      const float numeric = (loss_of(plus) - loss_of(minus)) / (2 * eps);
+      EXPECT_NEAR(grads.layers[l].bias[i], numeric, 2e-2f)
+          << "layer " << l << " bias " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(MlpTest, SgdLearnsLinearFunction) {
+  // y = 2*x0 - 3*x1 + 1, learnable exactly by a linear net (one layer).
+  Mlp net({2, 1}, 3);
+  Rng rng(4);
+  for (int step = 0; step < 3'000; ++step) {
+    const float x0 = static_cast<float>(rng.NextDouble(-1, 1));
+    const float x1 = static_cast<float>(rng.NextDouble(-1, 1));
+    const float y = 2 * x0 - 3 * x1 + 1;
+    MlpCache cache;
+    const std::vector<float> out = net.Forward(std::vector<float>{x0, x1},
+                                               &cache);
+    MlpGradients grads = net.ZeroGradients();
+    net.Backward(cache, std::vector<float>{out[0] - y}, &grads);
+    net.ApplySgd(grads, 0.05f);
+  }
+  const std::vector<float> out = net.Forward(std::vector<float>{0.5f, 0.5f});
+  EXPECT_NEAR(out[0], 2 * 0.5 - 3 * 0.5 + 1, 0.05);
+}
+
+TEST(MlpTest, AdamLearnsNonlinearFunction) {
+  // y = |x| requires the hidden ReLU layer.
+  Mlp net({1, 16, 1}, 5);
+  AdamOptimizer opt(&net, 0.01f);
+  Rng rng(6);
+  for (int step = 0; step < 4'000; ++step) {
+    const float x = static_cast<float>(rng.NextDouble(-1, 1));
+    const float y = std::abs(x);
+    MlpCache cache;
+    const std::vector<float> out =
+        net.Forward(std::vector<float>{x}, &cache);
+    MlpGradients grads = net.ZeroGradients();
+    net.Backward(cache, std::vector<float>{out[0] - y}, &grads);
+    opt.Step(grads);
+  }
+  for (float x : {-0.8f, -0.3f, 0.4f, 0.9f}) {
+    const std::vector<float> out = net.Forward(std::vector<float>{x});
+    EXPECT_NEAR(out[0], std::abs(x), 0.1f) << x;
+  }
+}
+
+TEST(MlpTest, CopyAndSoftUpdate) {
+  Mlp a({2, 4, 1}, 1);
+  Mlp b({2, 4, 1}, 2);
+  const std::vector<float> x = {0.3f, 0.7f};
+  EXPECT_NE(a.Forward(x), b.Forward(x));
+  b.CopyFrom(a);
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+
+  Mlp c({2, 4, 1}, 3);
+  const float before = c.Forward(x)[0];
+  c.SoftUpdateFrom(a, 0.5f);
+  const float after = c.Forward(x)[0];
+  EXPECT_NE(before, after);
+  // tau = 1 is a hard copy.
+  c.SoftUpdateFrom(a, 1.0f);
+  EXPECT_NEAR(c.Forward(x)[0], a.Forward(x)[0], 1e-5f);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,176 @@
+// Parameterized property sweeps: EBH invariants across (tau x
+// distribution), and cross-index edge-case behaviour the conformance
+// suite's randomized runs do not pin down explicitly.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/index_factory.h"
+#include "src/core/ebh_leaf.h"
+#include "src/data/dataset.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+// --- EBH property sweep -------------------------------------------------
+
+using EbhParam = std::tuple<double /*tau*/, DatasetKind>;
+
+class EbhPropertyTest : public ::testing::TestWithParam<EbhParam> {};
+
+TEST_P(EbhPropertyTest, InvariantsHoldAfterBuild) {
+  const auto& [tau, kind] = GetParam();
+  const std::vector<Key> keys = GenerateDataset(kind, 5'000, 17);
+  std::vector<KeyValue> data;
+  for (Key k : keys) data.push_back({k, k ^ 0xF00D});
+
+  EbhLeaf leaf(keys.front(), keys.back() + 1, data.size(), tau);
+  leaf.Build(data);
+
+  // Theorem 1: capacity covers the bound for this tau.
+  EXPECT_GE(leaf.capacity(), EbhCapacityFor(leaf.num_keys(), tau));
+  // Every key reachable with its payload.
+  for (const KeyValue& kv : data) {
+    Value v = 0;
+    ASSERT_TRUE(leaf.Lookup(kv.key, &v)) << kv.key;
+    ASSERT_EQ(v, kv.value);
+  }
+  // Error bound: no stored key sits further than cd from its hash slot.
+  double err_sum = 0.0, err_max = 0.0;
+  leaf.AccumulateError(&err_sum, &err_max);
+  EXPECT_LE(err_max, static_cast<double>(leaf.conflict_degree()) + 1e-9);
+  // Adaptive alpha keeps mean displacement small on every distribution.
+  EXPECT_LT(err_sum / data.size(), 3.0);
+}
+
+TEST_P(EbhPropertyTest, InvariantsHoldUnderChurn) {
+  const auto& [tau, kind] = GetParam();
+  const std::vector<Key> keys = GenerateDataset(kind, 2'000, 23);
+  std::vector<KeyValue> data;
+  for (Key k : keys) data.push_back({k, k});
+  EbhLeaf leaf(keys.front(), keys.back() + 1, data.size(), tau);
+  leaf.Build(data);
+
+  Rng rng(29);
+  std::vector<Key> live(keys.begin(), keys.end());
+  for (int op = 0; op < 4'000; ++op) {
+    if (rng.NextBernoulli(0.6) || live.empty()) {
+      const Key k = keys.front() + rng.NextBounded(keys.back() - keys.front());
+      if (leaf.Insert(k, k)) live.push_back(k);
+    } else {
+      const size_t i = rng.NextBounded(live.size());
+      ASSERT_TRUE(leaf.Erase(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    }
+    // Load factor hard bound from lazy expansion.
+    ASSERT_LE(leaf.num_keys() * 10, leaf.capacity() * 9 + 10);
+  }
+  EXPECT_EQ(leaf.num_keys(), live.size());
+  for (Key k : live) {
+    ASSERT_TRUE(leaf.Lookup(k, nullptr)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauTimesDistribution, EbhPropertyTest,
+    ::testing::Combine(::testing::Values(0.1, 0.45, 0.8),
+                       ::testing::ValuesIn(std::vector<DatasetKind>(
+                           std::begin(kAllDatasets),
+                           std::end(kAllDatasets)))),
+    [](const auto& info) {
+      const int tau_pct =
+          static_cast<int>(std::get<0>(info.param) * 100 + 0.5);
+      return "tau" + std::to_string(tau_pct) + "_" +
+             std::string(DatasetName(std::get<1>(info.param)));
+    });
+
+// --- Cross-index edge cases ----------------------------------------------
+
+class IndexEdgeCaseTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IndexEdgeCaseTest, EmptyIndexBehaviour) {
+  std::unique_ptr<KvIndex> index = MakeIndex(GetParam());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(index->Lookup(42, nullptr));
+  EXPECT_FALSE(index->Erase(42));
+  std::vector<KeyValue> out;
+  EXPECT_EQ(index->RangeScan(0, kMaxKey - 1, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(IndexEdgeCaseTest, SingleKeyIndex) {
+  std::unique_ptr<KvIndex> index = MakeIndex(GetParam());
+  std::vector<KeyValue> one = {{7'777'777, 42}};
+  index->BulkLoad(one);
+  Value v = 0;
+  EXPECT_TRUE(index->Lookup(7'777'777, &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(index->Lookup(7'777'776, nullptr));
+  EXPECT_FALSE(index->Lookup(7'777'778, nullptr));
+  std::vector<KeyValue> out;
+  EXPECT_EQ(index->RangeScan(0, kMaxKey - 1, &out), 1u);
+}
+
+TEST_P(IndexEdgeCaseTest, EmptyRangeBetweenKeys) {
+  std::unique_ptr<KvIndex> index = MakeIndex(GetParam());
+  std::vector<KeyValue> data;
+  for (Key k = 1; k <= 1'000; ++k) data.push_back({k * 1'000, k});
+  index->BulkLoad(data);
+  std::vector<KeyValue> out;
+  // Entirely inside a gap.
+  EXPECT_EQ(index->RangeScan(500'100, 500'900, &out), 0u);
+  // Before the first / after the last key.
+  EXPECT_EQ(index->RangeScan(0, 999, &out), 0u);
+  EXPECT_EQ(index->RangeScan(1'000'001, kMaxKey - 1, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(IndexEdgeCaseTest, PointRangeHitsExactlyOneKey) {
+  std::unique_ptr<KvIndex> index = MakeIndex(GetParam());
+  std::vector<KeyValue> data;
+  for (Key k = 1; k <= 1'000; ++k) data.push_back({k * 7, k});
+  index->BulkLoad(data);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(index->RangeScan(700, 700, &out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 700u);
+  EXPECT_EQ(out[0].value, 100u);
+}
+
+TEST_P(IndexEdgeCaseTest, ExtremeKeyMagnitudes) {
+  // Keys near 0 and near 2^52 in one index: model arithmetic must stay
+  // exact at both ends.
+  std::unique_ptr<KvIndex> index = MakeIndex(GetParam());
+  std::vector<KeyValue> data;
+  for (Key k = 1; k <= 100; ++k) data.push_back({k, k});
+  const Key high_base = (Key{1} << 52) - 1'000;
+  for (Key k = 0; k < 100; ++k) data.push_back({high_base + k * 5, k});
+  index->BulkLoad(data);
+  for (const KeyValue& kv : data) {
+    ASSERT_TRUE(index->Lookup(kv.key, nullptr)) << kv.key;
+  }
+  EXPECT_FALSE(index->Lookup(high_base - 1, nullptr));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexEdgeCaseTest,
+                         ::testing::ValuesIn(AllIndexNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace chameleon

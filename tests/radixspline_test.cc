@@ -1,0 +1,88 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/radixspline/radix_spline.h"
+#include "src/data/dataset.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+TEST(RadixSplineTest, EpsilonControlsSplineSize) {
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kLogn, 100'000, 3));
+  RadixSpline tight(/*epsilon=*/4);
+  tight.BulkLoad(data);
+  RadixSpline loose(/*epsilon=*/128);
+  loose.BulkLoad(data);
+  EXPECT_GT(tight.Stats().num_nodes, loose.Stats().num_nodes);
+}
+
+TEST(RadixSplineTest, AdversarialCdfStaysWithinEpsilon) {
+  // Step-function CDF: dense runs + huge jumps. Every key must be found
+  // (transitively proving the knot interpolation honors the bound).
+  Rng rng(7);
+  std::vector<KeyValue> data;
+  Key k = 1'000;
+  for (int step = 0; step < 50; ++step) {
+    for (int i = 0; i < 500; ++i) {
+      data.push_back({k, k});
+      k += 1 + rng.NextBounded(2);
+    }
+    k += 1'000'000'000ULL + rng.NextBounded(1'000'000'000ULL);
+  }
+  RadixSpline index(8);
+  index.BulkLoad(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Lookup(data[i].key, nullptr)) << i;
+  }
+}
+
+TEST(RadixSplineTest, DeltaBufferAbsorbsUpdatesThenRebuilds) {
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 50'000; ++k) data.push_back({k * 4, k});
+  RadixSpline index;
+  index.BulkLoad(data);
+  const size_t spline_before = index.Stats().num_nodes;
+  // Insert enough to exceed the rebuild threshold (n/16 ~ 3125).
+  for (Key k = 0; k < 5'000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 4 + 1, k));
+  }
+  EXPECT_EQ(index.size(), 55'000u);
+  for (Key k = 0; k < 5'000; k += 11) {
+    ASSERT_TRUE(index.Lookup(k * 4 + 1, nullptr));
+  }
+  // Spline was rebuilt over the merged data.
+  EXPECT_NE(index.Stats().num_nodes, spline_before);
+}
+
+TEST(RadixSplineTest, EraseViaTombstoneAndDelta) {
+  std::vector<KeyValue> data;
+  for (Key k = 0; k < 1'000; ++k) data.push_back({k, k});
+  RadixSpline index;
+  index.BulkLoad(data);
+  // Main-run erase (tombstone).
+  ASSERT_TRUE(index.Erase(500));
+  EXPECT_FALSE(index.Lookup(500, nullptr));
+  EXPECT_FALSE(index.Erase(500));
+  // Delta erase.
+  ASSERT_TRUE(index.Insert(10'000, 1));
+  ASSERT_TRUE(index.Erase(10'000));
+  EXPECT_FALSE(index.Lookup(10'000, nullptr));
+  EXPECT_EQ(index.size(), 999u);
+  // Reinsert over a tombstone.
+  ASSERT_TRUE(index.Insert(500, 77));
+  Value v = 0;
+  ASSERT_TRUE(index.Lookup(500, &v));
+  EXPECT_EQ(v, 77u);
+}
+
+TEST(RadixSplineTest, ConstantHeight) {
+  RadixSpline index;
+  index.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kFace, 50'000, 9)));
+  EXPECT_EQ(index.Stats().max_height, 2);
+}
+
+}  // namespace
+}  // namespace chameleon

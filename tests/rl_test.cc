@@ -1,0 +1,177 @@
+// Tests for the RL substrate: replay buffer, genetic optimizer
+// (Algorithm 1's actor), and the tree-structured DQN (Eq. 3).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rl/dqn.h"
+#include "src/rl/genetic.h"
+#include "src/rl/replay_buffer.h"
+
+namespace chameleon {
+namespace {
+
+TEST(ReplayBufferTest, FillsThenWrapsAround) {
+  ReplayBuffer<int> buffer(4, 1);
+  EXPECT_TRUE(buffer.empty());
+  for (int i = 0; i < 4; ++i) buffer.Add(i);
+  EXPECT_EQ(buffer.size(), 4u);
+  buffer.Add(100);  // overwrites the oldest slot
+  EXPECT_EQ(buffer.size(), 4u);
+  // 100 must be findable via sampling.
+  bool found = false;
+  for (int tries = 0; tries < 200 && !found; ++tries) {
+    for (const int* v : buffer.Sample(4)) found |= (*v == 100);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReplayBufferTest, SampleBoundedBySize) {
+  ReplayBuffer<int> buffer(16, 2);
+  EXPECT_TRUE(buffer.Sample(8).empty());
+  buffer.Add(1);
+  buffer.Add(2);
+  EXPECT_EQ(buffer.Sample(8).size(), 2u);
+}
+
+TEST(GeneticTest, OptimizesQuadratic) {
+  // Maximize -(x - 3)^2 - (y + 1)^2 over [-10, 10]^2.
+  GaConfig config;
+  config.population = 32;
+  config.generations = 60;
+  config.seed = 5;
+  GeneticOptimizer ga({{-10, 10}, {-10, 10}}, config);
+  const std::vector<float> best = ga.Optimize([](std::span<const float> g) {
+    const double dx = g[0] - 3.0;
+    const double dy = g[1] + 1.0;
+    return -(dx * dx + dy * dy);
+  });
+  EXPECT_NEAR(best[0], 3.0f, 0.3f);
+  EXPECT_NEAR(best[1], -1.0f, 0.3f);
+  EXPECT_GT(ga.best_fitness(), -0.2);
+}
+
+TEST(GeneticTest, RespectsBounds) {
+  GaConfig config;
+  config.population = 16;
+  config.generations = 20;
+  config.seed = 6;
+  GeneticOptimizer ga({{2, 5}}, config);
+  // Fitness pulls toward 100, far outside the bounds.
+  const std::vector<float> best = ga.Optimize(
+      [](std::span<const float> g) { return static_cast<double>(g[0]); });
+  EXPECT_LE(best[0], 5.0f);
+  EXPECT_GE(best[0], 2.0f);
+  EXPECT_NEAR(best[0], 5.0f, 0.2f);
+}
+
+TEST(GeneticTest, ConvergesEarlyOnFlatFitness) {
+  GaConfig config;
+  config.population = 8;
+  config.generations = 200;
+  config.convergence_patience = 5;
+  config.seed = 7;
+  GeneticOptimizer ga({{0, 1}}, config);
+  ga.Optimize([](std::span<const float>) { return 1.0; });
+  EXPECT_LT(ga.generations_run(), 20);
+}
+
+TEST(TreeDqnTest, BoltzmannExploresAllActions) {
+  DqnConfig config;
+  config.state_dim = 2;
+  config.num_actions = 3;
+  config.hidden = {8};
+  config.boltzmann_temperature = 10.0f;  // near-uniform
+  TreeDqn dqn(config);
+  std::vector<int> counts(3, 0);
+  const std::vector<float> state = {0.5f, 0.5f};
+  for (int i = 0; i < 3'000; ++i) ++counts[dqn.SelectAction(state)];
+  for (int c : counts) EXPECT_GT(c, 400);
+}
+
+TEST(TreeDqnTest, LearnsBanditRewards) {
+  // Single state, terminal transitions: Q(s, a) should converge to the
+  // per-action reward.
+  DqnConfig config;
+  config.state_dim = 2;
+  config.num_actions = 3;
+  config.hidden = {16};
+  config.learning_rate = 5e-3f;
+  config.batch_size = 16;
+  TreeDqn dqn(config);
+  const std::vector<float> state = {1.0f, 0.0f};
+  const std::vector<float> rewards = {-1.0f, 2.0f, 0.5f};
+  for (int a = 0; a < 3; ++a) {
+    for (int i = 0; i < 20; ++i) {
+      TreeTransition t;
+      t.state = state;
+      t.action = a;
+      t.reward = rewards[a];
+      t.terminal = true;
+      dqn.AddTransition(std::move(t));
+    }
+  }
+  for (int step = 0; step < 2'000; ++step) dqn.TrainStep();
+  EXPECT_EQ(dqn.GreedyAction(state), 1);
+  const std::vector<float> q = dqn.QValues(state);
+  EXPECT_NEAR(q[0], -1.0f, 0.4f);
+  EXPECT_NEAR(q[1], 2.0f, 0.4f);
+  EXPECT_NEAR(q[2], 0.5f, 0.4f);
+}
+
+TEST(TreeDqnTest, TreeTargetUsesWeightedChildren) {
+  // Two-level chain: s0 --a0--> {s1 (w=0.25), s2 (w=0.75)}, both
+  // terminal with known rewards via their own transitions. After
+  // training, Q(s0, a0) ~ r0 + gamma * (0.25 * max_a Q(s1) +
+  // 0.75 * max_a Q(s2)).
+  DqnConfig config;
+  config.state_dim = 3;
+  config.num_actions = 2;
+  config.hidden = {16};
+  config.learning_rate = 5e-3f;
+  config.gamma = 0.9f;
+  config.batch_size = 16;
+  config.target_sync_every = 16;
+  TreeDqn dqn(config);
+
+  const std::vector<float> s0 = {1, 0, 0};
+  const std::vector<float> s1 = {0, 1, 0};
+  const std::vector<float> s2 = {0, 0, 1};
+
+  for (int i = 0; i < 30; ++i) {
+    TreeTransition t1{s1, 0, 1.0f, {}, true};
+    TreeTransition t1b{s1, 1, 0.0f, {}, true};
+    TreeTransition t2{s2, 0, -2.0f, {}, true};
+    TreeTransition t2b{s2, 1, -3.0f, {}, true};
+    TreeTransition t0{s0, 0, 0.5f, {{s1, 0.25f}, {s2, 0.75f}}, false};
+    dqn.AddTransition(t1);
+    dqn.AddTransition(t1b);
+    dqn.AddTransition(t2);
+    dqn.AddTransition(t2b);
+    dqn.AddTransition(t0);
+  }
+  for (int step = 0; step < 4'000; ++step) dqn.TrainStep();
+
+  // Expected: 0.5 + 0.9 * (0.25 * 1.0 + 0.75 * -2.0) = 0.5 + 0.9 * -1.25
+  //         = -0.625.
+  const std::vector<float> q0 = dqn.QValues(s0);
+  EXPECT_NEAR(q0[0], -0.625f, 0.5f);
+}
+
+TEST(TreeDqnTest, TrainStepReturnsFiniteLoss) {
+  DqnConfig config;
+  config.state_dim = 4;
+  config.num_actions = 2;
+  TreeDqn dqn(config);
+  EXPECT_EQ(dqn.TrainStep(), 0.0f);  // empty buffer
+  TreeTransition t{{0.1f, 0.2f, 0.3f, 0.4f}, 1, -1.0f, {}, true};
+  dqn.AddTransition(t);
+  const float loss = dqn.TrainStep();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+}  // namespace
+}  // namespace chameleon

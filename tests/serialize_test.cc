@@ -1,0 +1,143 @@
+// Tests for index structure persistence (core/serialize.h).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serialize.h"
+#include "src/data/dataset.h"
+#include "src/util/timer.h"
+#include "src/workload/workload.h"
+
+namespace chameleon {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const std::string path = TempPath("cham_roundtrip.bin");
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kFace, 30'000, 3);
+  ChameleonIndex original;
+  original.BulkLoad(ToKeyValues(keys));
+  const IndexStats before = original.Stats();
+  ASSERT_TRUE(SaveIndex(original, path));
+
+  ChameleonIndex restored;
+  ASSERT_TRUE(LoadIndex(&restored, path));
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.num_units(), original.num_units());
+  EXPECT_EQ(restored.frame_levels(), original.frame_levels());
+  const IndexStats after = restored.Stats();
+  EXPECT_EQ(after.num_nodes, before.num_nodes);
+  EXPECT_EQ(after.max_height, before.max_height);
+  EXPECT_DOUBLE_EQ(after.max_error, before.max_error);
+
+  // Every key with its payload; negatives still negative.
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+  for (size_t i = 0; i < data.size(); i += 7) {
+    Value v = 0;
+    ASSERT_TRUE(restored.Lookup(data[i].key, &v)) << i;
+    EXPECT_EQ(v, data[i].value);
+  }
+  EXPECT_FALSE(restored.Lookup(keys.back() + 12'345, nullptr));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RestoredIndexIsFullyOperational) {
+  const std::string path = TempPath("cham_ops.bin");
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kLogn, 20'000, 5);
+  {
+    ChameleonIndex index;
+    index.BulkLoad(ToKeyValues(keys));
+    ASSERT_TRUE(index.SaveTo(path));
+  }
+  ChameleonIndex index;
+  ASSERT_TRUE(index.LoadFrom(path));
+
+  // Updates, scans, and retraining all work on the restored structure.
+  WorkloadGenerator gen(keys, 7);
+  for (const Operation& op : gen.MixedReadWrite(30'000, 0.5)) {
+    switch (op.type) {
+      case OpType::kLookup:
+        ASSERT_TRUE(index.Lookup(op.key, nullptr)) << op.key;
+        break;
+      case OpType::kInsert:
+        ASSERT_TRUE(index.Insert(op.key, op.value));
+        break;
+      case OpType::kErase:
+        ASSERT_TRUE(index.Erase(op.key));
+        break;
+    }
+  }
+  EXPECT_EQ(index.size(), gen.live_keys());
+  (void)index.RetrainOnce();
+  std::vector<KeyValue> all;
+  index.RangeScan(0, kMaxKey - 1, &all);
+  EXPECT_EQ(all.size(), gen.live_keys());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadIsFasterThanRebuild) {
+  const std::string path = TempPath("cham_speed.bin");
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kOsmc, 50'000, 9));
+  ChameleonIndex index;
+  Timer build_timer;
+  index.BulkLoad(data);
+  const double build_ms = build_timer.ElapsedMillis();
+  ASSERT_TRUE(index.SaveTo(path));
+
+  ChameleonIndex restored;
+  Timer load_timer;
+  ASSERT_TRUE(restored.LoadFrom(path));
+  const double load_ms = load_timer.ElapsedMillis();
+  // Loading skips DARE's GA and TSMDP entirely.
+  EXPECT_LT(load_ms, build_ms);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageAndMissingFiles) {
+  ChameleonIndex index;
+  EXPECT_FALSE(index.LoadFrom("/nonexistent/nope.chameleon"));
+
+  const std::string path = TempPath("cham_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not an index";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(index.LoadFrom(path));
+  std::remove(path.c_str());
+
+  // Truncated valid prefix.
+  const std::string good = TempPath("cham_good.bin");
+  ChameleonIndex donor;
+  donor.BulkLoad(ToKeyValues(GenerateDataset(DatasetKind::kUden, 5'000, 1)));
+  ASSERT_TRUE(donor.SaveTo(good));
+  const std::string trunc = TempPath("cham_trunc.bin");
+  {
+    std::FILE* src = std::fopen(good.c_str(), "rb");
+    std::FILE* dst = std::fopen(trunc.c_str(), "wb");
+    ASSERT_NE(src, nullptr);
+    ASSERT_NE(dst, nullptr);
+    char buf[4096];
+    const size_t n = std::fread(buf, 1, sizeof(buf), src);
+    std::fwrite(buf, 1, n / 2, dst);
+    std::fclose(src);
+    std::fclose(dst);
+  }
+  EXPECT_FALSE(index.LoadFrom(trunc));
+  std::remove(good.c_str());
+  std::remove(trunc.c_str());
+}
+
+}  // namespace
+}  // namespace chameleon

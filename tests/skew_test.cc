@@ -1,0 +1,126 @@
+// Tests for the local-skewness metric (Definition 3) and RL feature
+// extraction.
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/skew.h"
+
+namespace chameleon {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(LocalSkewnessTest, UniformSpacingIsPiOver4) {
+  // Perfectly even gaps: every term is (Mk-mk)/gap = n-1, and the sum is
+  // (n-1)^2, so lsn = arctan(1) = pi/4 exactly.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1'000; ++k) keys.push_back(k * 100);
+  EXPECT_NEAR(LocalSkewness(keys), kPi / 4.0, 1e-9);
+}
+
+TEST(LocalSkewnessTest, DegenerateInputs) {
+  EXPECT_NEAR(LocalSkewness(std::vector<Key>{}), kPi / 4.0, 1e-12);
+  EXPECT_NEAR(LocalSkewness(std::vector<Key>{42}), kPi / 4.0, 1e-12);
+  // Two keys: single gap, sum = 1/1, lsn = arctan(1).
+  EXPECT_NEAR(LocalSkewness(std::vector<Key>{1, 2}), kPi / 4.0, 1e-12);
+}
+
+TEST(LocalSkewnessTest, ClusteringRaisesLsn) {
+  // One dense cluster + one far key.
+  std::vector<Key> clustered;
+  for (Key k = 0; k < 999; ++k) clustered.push_back(k);
+  clustered.push_back(1'000'000'000);
+  const double lsn = LocalSkewness(clustered);
+  EXPECT_GT(lsn, kPi / 4.0 + 0.5);
+  EXPECT_LT(lsn, kPi / 2.0);
+}
+
+TEST(LocalSkewnessTest, BoundedByPiOver2) {
+  // Extreme: half the keys adjacent, half spread over a huge range.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 10'000; ++k) keys.push_back(k);
+  for (Key k = 0; k < 100; ++k) keys.push_back(1'000'000'000 + k * 10'000'000);
+  const double lsn = LocalSkewness(keys);
+  EXPECT_LT(lsn, kPi / 2.0);
+  EXPECT_GE(lsn, kPi / 4.0 - 1e-9);
+}
+
+TEST(LocalSkewnessTest, PaperExampleValuesMatchDatasets) {
+  // The generators are tuned to the lsn values the paper reports
+  // (Sec. VI-A1). Verify each lands in its band.
+  constexpr size_t kN = 200'000;
+  const double uden = LocalSkewness(
+      std::vector<Key>(GenerateDataset(DatasetKind::kUden, kN, 1)));
+  const double osmc = LocalSkewness(
+      std::vector<Key>(GenerateDataset(DatasetKind::kOsmc, kN, 1)));
+  const double logn = LocalSkewness(
+      std::vector<Key>(GenerateDataset(DatasetKind::kLogn, kN, 1)));
+  const double face = LocalSkewness(
+      std::vector<Key>(GenerateDataset(DatasetKind::kFace, kN, 1)));
+
+  EXPECT_NEAR(uden, PaperLsn(DatasetKind::kUden), 0.03);
+  EXPECT_NEAR(osmc, PaperLsn(DatasetKind::kOsmc), 0.12);
+  EXPECT_NEAR(logn, PaperLsn(DatasetKind::kLogn), 0.12);
+  EXPECT_NEAR(face, PaperLsn(DatasetKind::kFace), 0.05);
+  // And the ordering the evaluation relies on.
+  EXPECT_LT(uden, osmc);
+  EXPECT_LT(osmc, logn);
+  EXPECT_LT(logn, face);
+}
+
+TEST(PdfHistogramTest, NormalizedAndShaped) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1'000; ++k) keys.push_back(k);  // uniform 0..999
+  const std::vector<float> hist = PdfHistogram(keys, 10);
+  ASSERT_EQ(hist.size(), 10u);
+  float sum = 0.0f;
+  for (float v : hist) {
+    sum += v;
+    EXPECT_NEAR(v, 0.1f, 0.02f);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(PdfHistogramTest, SkewShowsInBuckets) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 900; ++k) keys.push_back(k);        // dense low
+  for (Key k = 0; k < 100; ++k) keys.push_back(10'000 + k * 90);  // sparse
+  const std::vector<float> hist = PdfHistogram(keys, 10);
+  EXPECT_GT(hist[0], 0.85f);
+}
+
+TEST(PdfHistogramTest, EmptyAndDegenerate) {
+  EXPECT_EQ(PdfHistogram(std::vector<Key>{}, 4),
+            std::vector<float>({0, 0, 0, 0}));
+  const std::vector<float> single = PdfHistogram(std::vector<Key>{7}, 4);
+  EXPECT_FLOAT_EQ(single[0], 1.0f);
+}
+
+TEST(PdfHistogramTest, BoundedVariantUsesNodeInterval) {
+  // Keys cluster at the low end of a wide node interval.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 100; ++k) keys.push_back(k);
+  const std::vector<float> hist = PdfHistogram(keys, 10, 0, 1'000);
+  EXPECT_NEAR(hist[0], 1.0f, 1e-5);
+  for (size_t i = 1; i < 10; ++i) EXPECT_FLOAT_EQ(hist[i], 0.0f);
+}
+
+TEST(StateVectorTest, ShapeAndContents) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 5'000; ++k) keys.push_back(k * 7);
+  const std::vector<float> state = StateVector(keys, 32);
+  ASSERT_EQ(state.size(), 34u);
+  // Last entry is lsn.
+  EXPECT_NEAR(state.back(), static_cast<float>(kPi / 4.0), 0.05f);
+  // Second-to-last is the log-scaled cardinality in (0, 1).
+  EXPECT_GT(state[32], 0.0f);
+  EXPECT_LT(state[32], 1.5f);
+}
+
+}  // namespace
+}  // namespace chameleon

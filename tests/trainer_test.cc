@@ -1,0 +1,110 @@
+// Tests for the Algorithm 2 joint training loop.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/chameleon_index.h"
+#include "src/core/trainer.h"
+#include "src/data/dataset.h"
+
+namespace chameleon {
+namespace {
+
+DareConfig SmallDare() {
+  DareConfig config;
+  config.state_buckets = 32;
+  config.matrix_width = 8;
+  config.fitness_sample = 1'000;
+  config.ga.population = 8;
+  config.ga.generations = 5;
+  return config;
+}
+
+TsmdpConfig SmallTsmdp() {
+  TsmdpConfig config;
+  config.state_buckets = 16;
+  config.source = PolicySource::kDqn;
+  config.max_depth = 3;
+  config.min_split_keys = 64;
+  config.dqn.hidden = {16};
+  return config;
+}
+
+std::vector<std::vector<Key>> Corpus() {
+  return {GenerateDataset(DatasetKind::kUden, 5'000, 1),
+          GenerateDataset(DatasetKind::kOsmc, 5'000, 2),
+          GenerateDataset(DatasetKind::kFace, 5'000, 3)};
+}
+
+TEST(TrainerTest, RunsToErTermination) {
+  DareAgent dare(SmallDare());
+  TsmdpAgent tsmdp(SmallTsmdp());
+  TrainerConfig config;
+  config.er_decay = 0.5;
+  config.epsilon = 0.05;
+  config.episodes_per_step = 2;
+  ChameleonTrainer trainer(&dare, &tsmdp, config);
+  const TrainerReport report = trainer.Train(Corpus());
+  // 1 * 0.5^k < 0.05 -> k = 5 steps.
+  EXPECT_EQ(report.steps, 5);
+  EXPECT_EQ(report.episodes, 10);
+  EXPECT_LE(report.final_er, 0.05);
+  EXPECT_TRUE(std::isfinite(report.final_tsmdp_loss));
+  EXPECT_TRUE(std::isfinite(report.final_critic_mae));
+}
+
+TEST(TrainerTest, PopulatesBothAgents) {
+  DareAgent dare(SmallDare());
+  TsmdpAgent tsmdp(SmallTsmdp());
+  TrainerConfig config;
+  config.er_decay = 0.3;
+  config.epsilon = 0.2;
+  ChameleonTrainer trainer(&dare, &tsmdp, config);
+  trainer.Train(Corpus());
+  EXPECT_GT(dare.recorded_experiences(), 0u);
+  EXPECT_GT(tsmdp.dqn().replay_size(), 0u);
+}
+
+TEST(TrainerTest, EmptyCorpusIsNoOp) {
+  DareAgent dare(SmallDare());
+  TsmdpAgent tsmdp(SmallTsmdp());
+  ChameleonTrainer trainer(&dare, &tsmdp, TrainerConfig{});
+  const TrainerReport report = trainer.Train({});
+  EXPECT_EQ(report.steps, 0);
+  EXPECT_EQ(report.episodes, 0);
+}
+
+TEST(TrainerTest, TrainedAgentsBuildAWorkingIndex) {
+  // End-to-end Algorithm 2 -> index construction with the DQN policy and
+  // the trained critic.
+  ChameleonConfig config;
+  config.mode = ChameleonMode::kFull;
+  config.dare = SmallDare();
+  config.dare.use_critic = true;
+  config.tsmdp = SmallTsmdp();
+  ChameleonIndex index(config);
+
+  TrainerConfig tc;
+  tc.er_decay = 0.3;
+  tc.epsilon = 0.2;
+  ChameleonTrainer trainer(&index.dare(), &index.tsmdp(), tc);
+  trainer.Train(Corpus());
+
+  const std::vector<KeyValue> data =
+      ToKeyValues(GenerateDataset(DatasetKind::kLogn, 30'000, 9));
+  index.BulkLoad(data);
+  EXPECT_EQ(index.size(), data.size());
+  for (size_t i = 0; i < data.size(); i += 17) {
+    Value v = 0;
+    ASSERT_TRUE(index.Lookup(data[i].key, &v)) << i;
+    EXPECT_EQ(v, data[i].value);
+  }
+  const IndexStats stats = index.Stats();
+  EXPECT_GE(stats.max_height, 2);
+  EXPECT_LE(stats.max_height, 2 + index.tsmdp().config().max_depth);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,149 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/workload/workload.h"
+
+namespace chameleon {
+namespace {
+
+std::vector<Key> LoadedKeys() {
+  return GenerateDataset(DatasetKind::kOsmc, 5'000, 11);
+}
+
+/// Replays operations against a reference map and asserts every op is
+/// valid at its point in the stream (lookups/erases hit, inserts are
+/// fresh).
+void ReplayAndValidate(const std::vector<Key>& loaded,
+                       const std::vector<Operation>& ops) {
+  std::map<Key, Value> ref;
+  for (Key k : loaded) ref[k] = 0;
+  for (const Operation& op : ops) {
+    switch (op.type) {
+      case OpType::kLookup:
+        ASSERT_TRUE(ref.contains(op.key)) << "lookup of absent key";
+        break;
+      case OpType::kInsert:
+        ASSERT_FALSE(ref.contains(op.key)) << "insert of present key";
+        ref[op.key] = op.value;
+        break;
+      case OpType::kErase:
+        ASSERT_EQ(ref.erase(op.key), 1u) << "erase of absent key";
+        break;
+    }
+  }
+}
+
+TEST(WorkloadTest, ReadOnlyOpsAreValidLookups) {
+  const std::vector<Key> loaded = LoadedKeys();
+  WorkloadGenerator gen(loaded, 1);
+  const std::vector<Operation> ops = gen.ReadOnly(10'000);
+  ASSERT_EQ(ops.size(), 10'000u);
+  ReplayAndValidate(loaded, ops);
+}
+
+TEST(WorkloadTest, ZipfReadOnlySkewsTowardFewKeys) {
+  const std::vector<Key> loaded = LoadedKeys();
+  WorkloadGenerator gen(loaded, 2);
+  const std::vector<Operation> ops = gen.ReadOnly(20'000, 0.99);
+  std::map<Key, int> counts;
+  for (const Operation& op : ops) ++counts[op.key];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Under uniform access the expected max is ~4; Zipf 0.99 concentrates.
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(WorkloadTest, MixedReadWriteValidAndRatioed) {
+  const std::vector<Key> loaded = LoadedKeys();
+  for (double ratio : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    WorkloadGenerator gen(loaded, 3);
+    const std::vector<Operation> ops = gen.MixedReadWrite(10'000, ratio);
+    ASSERT_EQ(ops.size(), 10'000u) << ratio;
+    ReplayAndValidate(loaded, ops);
+    size_t writes = 0;
+    for (const Operation& op : ops) writes += op.type != OpType::kLookup;
+    EXPECT_NEAR(static_cast<double>(writes) / ops.size(), ratio, 0.05)
+        << ratio;
+  }
+}
+
+TEST(WorkloadTest, MixedWritesAlternateInsertDelete) {
+  const std::vector<Key> loaded = LoadedKeys();
+  WorkloadGenerator gen(loaded, 4);
+  const std::vector<Operation> ops = gen.MixedReadWrite(10'000, 0.2);
+  size_t inserts = 0, erases = 0;
+  for (const Operation& op : ops) {
+    inserts += op.type == OpType::kInsert;
+    erases += op.type == OpType::kErase;
+  }
+  // The paper's 0.2 cycle: 8 reads, 1 insert, 1 delete.
+  EXPECT_NEAR(static_cast<double>(inserts), static_cast<double>(erases),
+              inserts * 0.05 + 2);
+  // Live set stays near its initial size.
+  EXPECT_NEAR(static_cast<double>(gen.live_keys()),
+              static_cast<double>(loaded.size()), loaded.size() * 0.05);
+}
+
+TEST(WorkloadTest, InsertDeleteRatios) {
+  const std::vector<Key> loaded = LoadedKeys();
+  for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    WorkloadGenerator gen(loaded, 5);
+    // Keep the op count below the loaded size so a delete-only stream
+    // (u = 0) never exhausts the pool and falls back to inserts.
+    const std::vector<Operation> ops = gen.InsertDelete(4'000, u);
+    ReplayAndValidate(loaded, ops);
+    size_t inserts = 0;
+    for (const Operation& op : ops) inserts += op.type == OpType::kInsert;
+    EXPECT_NEAR(static_cast<double>(inserts) / ops.size(), u, 0.05) << u;
+  }
+}
+
+TEST(WorkloadTest, BatchedPhasesStructureAndValidity) {
+  const std::vector<Key> loaded = LoadedKeys();
+  WorkloadGenerator gen(loaded, 6);
+  const std::vector<WorkloadPhase> phases = gen.Batched(2'000, 500);
+  ASSERT_EQ(phases.size(), 16u);  // (insert+query) x4, (delete+query) x4
+
+  std::vector<Operation> all;
+  size_t inserts = 0, erases = 0;
+  for (const WorkloadPhase& phase : phases) {
+    for (const Operation& op : phase.ops) {
+      all.push_back(op);
+      inserts += op.type == OpType::kInsert;
+      erases += op.type == OpType::kErase;
+    }
+  }
+  ReplayAndValidate(loaded, all);
+  EXPECT_EQ(inserts, 2'000u);
+  EXPECT_EQ(erases, inserts);  // everything inserted is deleted again
+  // Live set restored.
+  EXPECT_EQ(gen.live_keys(), loaded.size());
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const std::vector<Key> loaded = LoadedKeys();
+  WorkloadGenerator a(loaded, 7), b(loaded, 7);
+  const std::vector<Operation> oa = a.MixedReadWrite(1'000, 0.4);
+  const std::vector<Operation> ob = b.MixedReadWrite(1'000, 0.4);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].key, ob[i].key);
+    EXPECT_EQ(static_cast<int>(oa[i].type), static_cast<int>(ob[i].type));
+  }
+}
+
+TEST(WorkloadTest, FreshKeysNeverCollide) {
+  WorkloadGenerator gen(std::vector<Key>{1, 2, 3, 4, 5}, 8);
+  const std::vector<Operation> ops = gen.InsertDelete(5'000, 1.0);
+  std::map<Key, int> seen;
+  for (const Operation& op : ops) {
+    ASSERT_EQ(op.type, OpType::kInsert);
+    ASSERT_EQ(++seen[op.key], 1) << "duplicate fresh key " << op.key;
+  }
+}
+
+}  // namespace
+}  // namespace chameleon
