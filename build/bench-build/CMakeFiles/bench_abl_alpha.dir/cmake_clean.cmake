@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_alpha"
+  "../bench/bench_abl_alpha.pdb"
+  "CMakeFiles/bench_abl_alpha.dir/bench_abl_alpha.cc.o"
+  "CMakeFiles/bench_abl_alpha.dir/bench_abl_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

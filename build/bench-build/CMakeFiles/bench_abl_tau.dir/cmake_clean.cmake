@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_tau"
+  "../bench/bench_abl_tau.pdb"
+  "CMakeFiles/bench_abl_tau.dir/bench_abl_tau.cc.o"
+  "CMakeFiles/bench_abl_tau.dir/bench_abl_tau.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_readonly"
+  "../bench/bench_fig08_readonly.pdb"
+  "CMakeFiles/bench_fig08_readonly.dir/bench_fig08_readonly.cc.o"
+  "CMakeFiles/bench_fig08_readonly.dir/bench_fig08_readonly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

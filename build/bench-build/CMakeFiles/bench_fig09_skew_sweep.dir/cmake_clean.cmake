@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_skew_sweep"
+  "../bench/bench_fig09_skew_sweep.pdb"
+  "CMakeFiles/bench_fig09_skew_sweep.dir/bench_fig09_skew_sweep.cc.o"
+  "CMakeFiles/bench_fig09_skew_sweep.dir/bench_fig09_skew_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_skew_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

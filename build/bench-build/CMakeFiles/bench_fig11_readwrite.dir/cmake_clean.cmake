@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_readwrite"
+  "../bench/bench_fig11_readwrite.pdb"
+  "CMakeFiles/bench_fig11_readwrite.dir/bench_fig11_readwrite.cc.o"
+  "CMakeFiles/bench_fig11_readwrite.dir/bench_fig11_readwrite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_readwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

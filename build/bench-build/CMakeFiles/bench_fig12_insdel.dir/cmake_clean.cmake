@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_insdel"
+  "../bench/bench_fig12_insdel.pdb"
+  "CMakeFiles/bench_fig12_insdel.dir/bench_fig12_insdel.cc.o"
+  "CMakeFiles/bench_fig12_insdel.dir/bench_fig12_insdel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_insdel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_retraining"
+  "../bench/bench_fig14_retraining.pdb"
+  "CMakeFiles/bench_fig14_retraining.dir/bench_fig14_retraining.cc.o"
+  "CMakeFiles/bench_fig14_retraining.dir/bench_fig14_retraining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_retrain_thread"
+  "../bench/bench_fig15_retrain_thread.pdb"
+  "CMakeFiles/bench_fig15_retrain_thread.dir/bench_fig15_retrain_thread.cc.o"
+  "CMakeFiles/bench_fig15_retrain_thread.dir/bench_fig15_retrain_thread.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_retrain_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

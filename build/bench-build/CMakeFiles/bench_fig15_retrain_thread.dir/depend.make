@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_retrain_thread.
+# This may be replaced when dependencies are built.

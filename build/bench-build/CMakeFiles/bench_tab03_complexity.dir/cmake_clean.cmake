@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab03_complexity"
+  "../bench/bench_tab03_complexity.pdb"
+  "CMakeFiles/bench_tab03_complexity.dir/bench_tab03_complexity.cc.o"
+  "CMakeFiles/bench_tab03_complexity.dir/bench_tab03_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab05_structure"
+  "../bench/bench_tab05_structure.pdb"
+  "CMakeFiles/bench_tab05_structure.dir/bench_tab05_structure.cc.o"
+  "CMakeFiles/bench_tab05_structure.dir/bench_tab05_structure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

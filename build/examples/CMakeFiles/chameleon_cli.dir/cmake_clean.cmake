@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_cli.dir/chameleon_cli.cpp.o"
+  "CMakeFiles/chameleon_cli.dir/chameleon_cli.cpp.o.d"
+  "chameleon_cli"
+  "chameleon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

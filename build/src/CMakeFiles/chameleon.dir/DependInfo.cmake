@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/index_factory.cc" "src/CMakeFiles/chameleon.dir/api/index_factory.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/api/index_factory.cc.o.d"
+  "/root/repo/src/baselines/alex/alex.cc" "src/CMakeFiles/chameleon.dir/baselines/alex/alex.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/alex/alex.cc.o.d"
+  "/root/repo/src/baselines/btree/btree.cc" "src/CMakeFiles/chameleon.dir/baselines/btree/btree.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/btree/btree.cc.o.d"
+  "/root/repo/src/baselines/dic/dic.cc" "src/CMakeFiles/chameleon.dir/baselines/dic/dic.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/dic/dic.cc.o.d"
+  "/root/repo/src/baselines/dili/dili.cc" "src/CMakeFiles/chameleon.dir/baselines/dili/dili.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/dili/dili.cc.o.d"
+  "/root/repo/src/baselines/finedex/finedex.cc" "src/CMakeFiles/chameleon.dir/baselines/finedex/finedex.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/finedex/finedex.cc.o.d"
+  "/root/repo/src/baselines/lipp/lipp.cc" "src/CMakeFiles/chameleon.dir/baselines/lipp/lipp.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/lipp/lipp.cc.o.d"
+  "/root/repo/src/baselines/pgm/pgm.cc" "src/CMakeFiles/chameleon.dir/baselines/pgm/pgm.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/pgm/pgm.cc.o.d"
+  "/root/repo/src/baselines/radixspline/radix_spline.cc" "src/CMakeFiles/chameleon.dir/baselines/radixspline/radix_spline.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/baselines/radixspline/radix_spline.cc.o.d"
+  "/root/repo/src/core/chameleon_index.cc" "src/CMakeFiles/chameleon.dir/core/chameleon_index.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/chameleon_index.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/chameleon.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/dare.cc" "src/CMakeFiles/chameleon.dir/core/dare.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/dare.cc.o.d"
+  "/root/repo/src/core/ebh_leaf.cc" "src/CMakeFiles/chameleon.dir/core/ebh_leaf.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/ebh_leaf.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/chameleon.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/chameleon.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/tsmdp.cc" "src/CMakeFiles/chameleon.dir/core/tsmdp.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/tsmdp.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/chameleon.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/skew.cc" "src/CMakeFiles/chameleon.dir/data/skew.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/data/skew.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/chameleon.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/rl/dqn.cc" "src/CMakeFiles/chameleon.dir/rl/dqn.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/rl/dqn.cc.o.d"
+  "/root/repo/src/rl/genetic.cc" "src/CMakeFiles/chameleon.dir/rl/genetic.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/rl/genetic.cc.o.d"
+  "/root/repo/src/util/io.cc" "src/CMakeFiles/chameleon.dir/util/io.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/io.cc.o.d"
+  "/root/repo/src/util/latency_recorder.cc" "src/CMakeFiles/chameleon.dir/util/latency_recorder.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/latency_recorder.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/chameleon.dir/util/random.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/random.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/chameleon.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

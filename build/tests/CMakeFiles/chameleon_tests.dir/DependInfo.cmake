@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alex_test.cc" "tests/CMakeFiles/chameleon_tests.dir/alex_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/alex_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/chameleon_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/chameleon_extras_test.cc" "tests/CMakeFiles/chameleon_tests.dir/chameleon_extras_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/chameleon_extras_test.cc.o.d"
+  "/root/repo/tests/chameleon_test.cc" "tests/CMakeFiles/chameleon_tests.dir/chameleon_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/chameleon_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/chameleon_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/concurrency_test.cc.o.d"
+  "/root/repo/tests/config_sweep_test.cc" "tests/CMakeFiles/chameleon_tests.dir/config_sweep_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/config_sweep_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/chameleon_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/dare_test.cc" "tests/CMakeFiles/chameleon_tests.dir/dare_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/dare_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/chameleon_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/dili_finedex_dic_test.cc" "tests/CMakeFiles/chameleon_tests.dir/dili_finedex_dic_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/dili_finedex_dic_test.cc.o.d"
+  "/root/repo/tests/ebh_test.cc" "tests/CMakeFiles/chameleon_tests.dir/ebh_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/ebh_test.cc.o.d"
+  "/root/repo/tests/index_factory_test.cc" "tests/CMakeFiles/chameleon_tests.dir/index_factory_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/index_factory_test.cc.o.d"
+  "/root/repo/tests/interval_lock_test.cc" "tests/CMakeFiles/chameleon_tests.dir/interval_lock_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/interval_lock_test.cc.o.d"
+  "/root/repo/tests/kv_index_conformance_test.cc" "tests/CMakeFiles/chameleon_tests.dir/kv_index_conformance_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/kv_index_conformance_test.cc.o.d"
+  "/root/repo/tests/lipp_test.cc" "tests/CMakeFiles/chameleon_tests.dir/lipp_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/lipp_test.cc.o.d"
+  "/root/repo/tests/mlp_test.cc" "tests/CMakeFiles/chameleon_tests.dir/mlp_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/mlp_test.cc.o.d"
+  "/root/repo/tests/pgm_test.cc" "tests/CMakeFiles/chameleon_tests.dir/pgm_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/pgm_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/chameleon_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/radixspline_test.cc" "tests/CMakeFiles/chameleon_tests.dir/radixspline_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/radixspline_test.cc.o.d"
+  "/root/repo/tests/rl_test.cc" "tests/CMakeFiles/chameleon_tests.dir/rl_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rl_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/chameleon_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/skew_test.cc" "tests/CMakeFiles/chameleon_tests.dir/skew_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/skew_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/chameleon_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/tsmdp_test.cc" "tests/CMakeFiles/chameleon_tests.dir/tsmdp_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/tsmdp_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/chameleon_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/chameleon_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chameleon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
