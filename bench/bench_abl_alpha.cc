@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("abl_alpha", opt);
   std::printf("=== Ablation: fixed vs adaptive EBH hash factor ===\n");
   std::printf("%zu keys per dataset, %zu lookups\n\n", opt.scale, opt.ops);
 
@@ -38,14 +39,21 @@ int main(int argc, char** argv) {
       ChameleonIndex index(config);
       index.BulkLoad(data);
       WorkloadGenerator gen(keys, opt.seed + 1);
-      ns[adaptive] = ReplayMeanNs(&index, gen.ReadOnly(opt.ops));
+      ns[adaptive] = ReplayMeanNs(&index, gen.ReadOnly(opt.ops), report.lat());
       err[adaptive] = index.Stats().max_error;
     }
     std::printf("%-26s %12.1f %12.0f %12.1f %12.0f\n", label, ns[0], err[0],
                 ns[1], err[1]);
+    report.AddRow()
+        .Num("sigma", sigma)
+        .Num("fixed_ns", ns[0])
+        .Num("fixed_max_error", err[0])
+        .Num("adaptive_ns", ns[1])
+        .Num("adaptive_max_error", err[1]);
     std::fflush(stdout);
   }
   std::printf("\nExpected shape: at high skew the fixed-alpha MaxError "
               "explodes and latency follows; adaptive stays flat\n");
+  report.Write();
   return 0;
 }

@@ -21,16 +21,25 @@ namespace {
 
 void Report(const char* label, ChameleonIndex* index,
             const std::vector<KeyValue>& data, const std::vector<Key>& keys,
-            const Options& opt) {
+            const Options& opt, JsonReport* report) {
   Timer timer;
   index->BulkLoad(data);
   const double build_ms = timer.ElapsedMillis();
   WorkloadGenerator gen(keys, opt.seed + 1);
-  const double lookup_ns = ReplayMeanNs(index, gen.ReadOnly(opt.ops));
+  const double lookup_ns =
+      ReplayMeanNs(index, gen.ReadOnly(opt.ops), report->lat());
   const IndexStats stats = index->Stats();
   std::printf("%-24s %10.1f %10.1f %8.2f %7d %9.0f %10zu\n", label, build_ms,
               lookup_ns, ToMiB(index->SizeBytes()), stats.max_height,
               stats.max_error, stats.num_nodes);
+  report->AddRow()
+      .Str("variant", label)
+      .Num("build_ms", build_ms)
+      .Num("lookup_ns", lookup_ns)
+      .Num("size_mib", ToMiB(index->SizeBytes()))
+      .Num("max_height", stats.max_height)
+      .Num("max_error", stats.max_error)
+      .Num("num_nodes", static_cast<double>(stats.num_nodes));
   std::fflush(stdout);
 }
 
@@ -38,6 +47,7 @@ void Report(const char* label, ChameleonIndex* index,
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("abl_construction", opt);
   std::printf("=== Ablation: construction policy ===\n");
   std::printf("%zu FACE keys, %zu lookups\n\n", opt.scale, opt.ops);
 
@@ -53,19 +63,19 @@ int main(int argc, char** argv) {
     ChameleonConfig c;
     c.mode = ChameleonMode::kEbhOnly;
     ChameleonIndex index(c);
-    Report("ChaB (greedy)", &index, data, keys, opt);
+    Report("ChaB (greedy)", &index, data, keys, opt, &report);
   }
   {
     ChameleonConfig c;
     c.mode = ChameleonMode::kDare;
     ChameleonIndex index(c);
-    Report("ChaDA (DARE)", &index, data, keys, opt);
+    Report("ChaDA (DARE)", &index, data, keys, opt, &report);
   }
   {
     ChameleonConfig c;
     c.mode = ChameleonMode::kFull;
     ChameleonIndex index(c);
-    Report("ChaDATS (cost model)", &index, data, keys, opt);
+    Report("ChaDATS (cost model)", &index, data, keys, opt, &report);
   }
   {
     // TSMDP driven by a DQN trained on-the-fly (Algorithm 2, small
@@ -82,7 +92,7 @@ int main(int argc, char** argv) {
                          keys.begin() + std::min<size_t>(keys.size(), 20'000))};
     ChameleonTrainer trainer(&index.dare(), &index.tsmdp(), tc);
     trainer.Train(corpus);
-    Report("ChaDATS (trained DQN)", &index, data, keys, opt);
+    Report("ChaDATS (trained DQN)", &index, data, keys, opt, &report);
   }
   {
     // Workload-aware reward: traffic concentrated on 10% of the keys.
@@ -91,7 +101,8 @@ int main(int argc, char** argv) {
     ChameleonIndex index(c);
     std::vector<Key> hot(keys.begin(), keys.begin() + keys.size() / 10);
     index.SetQuerySample(hot);
-    Report("ChaDATS (workload-aware)", &index, data, keys, opt);
+    Report("ChaDATS (workload-aware)", &index, data, keys, opt, &report);
   }
+  report.Write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("abl_tau", opt);
   std::printf("=== Ablation: EBH collision target tau ===\n");
   std::printf("%zu FACE keys, %zu ops per point\n\n", opt.scale, opt.ops);
 
@@ -34,13 +35,21 @@ int main(int argc, char** argv) {
     index.BulkLoad(data);
 
     WorkloadGenerator gen(keys, opt.seed + 1);
-    const double lookup_ns = ReplayMeanNs(&index, gen.ReadOnly(opt.ops));
+    const double lookup_ns =
+        ReplayMeanNs(&index, gen.ReadOnly(opt.ops), report.lat());
     const double insert_ns =
-        ReplayMeanNs(&index, gen.InsertDelete(opt.ops / 4, 1.0));
+        ReplayMeanNs(&index, gen.InsertDelete(opt.ops / 4, 1.0), report.lat());
     const IndexStats stats = index.Stats();
     std::printf("%6.2f %12.1f %12.1f %10.2f %10.0f %10.2f\n", tau, lookup_ns,
                 insert_ns, ToMiB(index.SizeBytes()), stats.max_error,
                 stats.avg_error);
+    report.AddRow()
+        .Num("tau", tau)
+        .Num("lookup_ns", lookup_ns)
+        .Num("insert_ns", insert_ns)
+        .Num("size_mib", ToMiB(index.SizeBytes()))
+        .Num("max_error", stats.max_error)
+        .Num("avg_error", stats.avg_error);
     std::fflush(stdout);
   }
   std::printf("\nExpected shape: memory falls with tau until the all-keys-"
@@ -48,5 +57,6 @@ int main(int argc, char** argv) {
               "that, insert cost climbs steeply (displacement at high "
               "load) while lookups stay flat. tau = 0.45 (the paper's "
               "choice) is the last point before the floor.\n");
+  report.Write();
   return 0;
 }

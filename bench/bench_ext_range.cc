@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("ext_range", opt);
   const size_t scans = opt.ops / 100;
   std::printf("=== Extension: range scans (OSMC, %zu keys) ===\n", opt.scale);
   std::printf("%zu scans per width\n\n", scans);
@@ -36,11 +37,18 @@ int main(int argc, char** argv) {
       Rng rng(opt.seed + width);
       std::vector<KeyValue> out;
       size_t total = 0;
+      obs::LatencyHistogram* hist = report.lat();
       Timer timer;
       for (size_t s = 0; s < scans; ++s) {
         const size_t a = rng.NextBounded(keys.size() - width);
         out.clear();
-        total += index->RangeScan(keys[a], keys[a + width - 1], &out);
+        if (hist != nullptr) {
+          Timer t;
+          total += index->RangeScan(keys[a], keys[a + width - 1], &out);
+          hist->Record(t.ElapsedNanos());
+        } else {
+          total += index->RangeScan(keys[a], keys[a + width - 1], &out);
+        }
       }
       const double ns = timer.ElapsedNanos() / static_cast<double>(scans);
       if (total != scans * width) {
@@ -48,9 +56,14 @@ int main(int argc, char** argv) {
                      name.c_str(), total, scans * width);
       }
       std::printf(" %14.0f", ns);
+      report.AddRow()
+          .Str("index", name)
+          .Num("width", static_cast<double>(width))
+          .Num("scan_ns", ns);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
+  report.Write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig08_readonly", opt);
   std::printf("=== Fig. 8: read-only query latency & index size ===\n");
   std::printf("(paper runs 50M-200M keys; this run scales them to %zu-%zu)\n",
               opt.scale / 4, opt.scale);
@@ -41,12 +42,19 @@ int main(int argc, char** argv) {
         index->BulkLoad(data);
         WorkloadGenerator gen(keys, opt.seed + frac);
         const std::vector<Operation> ops = gen.ReadOnly(opt.ops);
-        const double ns = ReplayMeanNs(index.get(), ops);
+        const double ns = ReplayMeanNs(index.get(), ops, report.lat());
         std::printf("  %11.1f %12.2f", ns, ToMiB(index->SizeBytes()));
+        report.AddRow()
+            .Str("dataset", DatasetName(kind))
+            .Str("index", name)
+            .Num("keys", static_cast<double>(n))
+            .Num("lookup_ns", ns)
+            .Num("size_mib", ToMiB(index->SizeBytes()));
       }
       std::printf("\n");
       std::fflush(stdout);
     }
   }
+  report.Write();
   return 0;
 }

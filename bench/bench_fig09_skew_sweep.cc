@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig09_skew_sweep", opt);
   const double sigmas[] = {1e-2, 1e-4, 1e-6, 1e-8};
 
   std::printf("=== Fig. 9: latency ratio (vs B+Tree) vs local skewness ===\n");
@@ -48,13 +49,20 @@ int main(int argc, char** argv) {
       std::unique_ptr<KvIndex> index = MakeIndex(name);
       index->BulkLoad(data);
       WorkloadGenerator gen(keys, opt.seed + 1);
-      const double ns = ReplayMeanNs(index.get(), gen.ReadOnly(opt.ops));
+      const double ns =
+          ReplayMeanNs(index.get(), gen.ReadOnly(opt.ops), report.lat());
       std::printf("   %8.3f", ns / btree_ns);
+      report.AddRow()
+          .Str("index", name)
+          .Num("sigma", sigma)
+          .Num("lookup_ns", ns)
+          .Num("ratio_vs_btree", ns / btree_ns);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
   std::printf("\nExpected shape: Chameleon column stays flat; others climb "
               "with lsn\n");
+  report.Write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig11_readwrite", opt);
   const size_t init = opt.scale / 5;
   const double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
@@ -38,7 +39,14 @@ int main(int argc, char** argv) {
         index->BulkLoad(ToKeyValues(keys));
         WorkloadGenerator gen(keys, opt.seed + 1);
         const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
-        std::printf(" %8.3f", ReplayThroughputMops(index.get(), ops));
+        const double mops =
+            ReplayThroughputMops(index.get(), ops, report.lat());
+        std::printf(" %8.3f", mops);
+        report.AddRow()
+            .Str("dataset", DatasetName(kind))
+            .Str("index", name)
+            .Num("write_ratio", r)
+            .Num("throughput_mops", mops);
         std::fflush(stdout);
       }
       std::printf("\n");
@@ -46,5 +54,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: Chameleon row highest on FACE/LOGN, flat "
               "across ratios\n");
+  report.Write();
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig12_insdel", opt);
   const size_t init = opt.scale / 5;
   const double ratios[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 
@@ -40,11 +41,19 @@ int main(int argc, char** argv) {
         const size_t n_ops =
             r < 0.5 ? std::min(opt.ops, init * 3 / 4) : opt.ops;
         const std::vector<Operation> ops = gen.InsertDelete(n_ops, r);
-        std::printf(" %8.3f", ReplayThroughputMops(index.get(), ops));
+        const double mops =
+            ReplayThroughputMops(index.get(), ops, report.lat());
+        std::printf(" %8.3f", mops);
+        report.AddRow()
+            .Str("dataset", DatasetName(kind))
+            .Str("index", name)
+            .Num("insert_ratio", r)
+            .Num("throughput_mops", mops);
         std::fflush(stdout);
       }
       std::printf("\n");
     }
   }
+  report.Write();
   return 0;
 }

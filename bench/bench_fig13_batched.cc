@@ -17,6 +17,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig13_batched", opt);
   const size_t init = opt.scale / 5;
   const size_t pool = opt.scale / 2;
   const size_t queries = opt.ops / 8;
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
     std::printf("  writes:");
     std::vector<double> read_ns;
     for (const WorkloadPhase& phase : phases) {
-      const double ns = ReplayMeanNs(index.get(), phase.ops);
+      const double ns = ReplayMeanNs(index.get(), phase.ops, report.lat());
+      report.AddRow()
+          .Str("index", name)
+          .Str("phase", phase.name)
+          .Num("mean_ns", ns);
       if (phase.name.rfind("query", 0) == 0) {
         read_ns.push_back(ns);
       } else {
@@ -53,5 +58,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: Chameleon rows flat left-to-right; others "
               "drift as updates accumulate\n");
+  report.Write();
   return 0;
 }

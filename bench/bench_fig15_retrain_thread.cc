@@ -29,14 +29,23 @@ namespace {
 
 void RunTrace(ChameleonIndex* index, const std::vector<Key>& keys,
               size_t segments, size_t inserts_per_seg, size_t reads_per_seg,
-              uint64_t seed, const char* label) {
+              uint64_t seed, const char* label, JsonReport* report) {
   WorkloadGenerator gen(keys, seed);
+  obs::LatencyHistogram* hist = report->lat();
   std::vector<double> read_ns, write_ns;
   for (size_t s = 0; s < segments; ++s) {
     const std::vector<Operation> inserts =
         gen.InsertDelete(inserts_per_seg, 1.0);
     Timer tw;
-    for (const Operation& op : inserts) index->Insert(op.key, op.value);
+    for (const Operation& op : inserts) {
+      if (hist != nullptr) {
+        Timer t;
+        index->Insert(op.key, op.value);
+        hist->Record(t.ElapsedNanos());
+      } else {
+        index->Insert(op.key, op.value);
+      }
+    }
     write_ns.push_back(tw.ElapsedNanos() /
                        static_cast<double>(inserts.size()));
 
@@ -44,10 +53,21 @@ void RunTrace(ChameleonIndex* index, const std::vector<Key>& keys,
     Timer tr;
     for (const Operation& op : reads) {
       Value v;
-      index->Lookup(op.key, &v);
+      if (hist != nullptr) {
+        Timer t;
+        index->Lookup(op.key, &v);
+        hist->Record(t.ElapsedNanos());
+      } else {
+        index->Lookup(op.key, &v);
+      }
     }
     read_ns.push_back(tr.ElapsedNanos() /
                       static_cast<double>(reads.size()));
+    report->AddRow()
+        .Str("config", label)
+        .Num("segment", static_cast<double>(s))
+        .Num("write_ns", write_ns.back())
+        .Num("read_ns", read_ns.back());
   }
   double read_mean = 0.0, write_mean = 0.0;
   std::printf("%-22s reads:", label);
@@ -70,6 +90,8 @@ void RunTrace(ChameleonIndex* index, const std::vector<Key>& keys,
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("fig15_retrain_thread", opt);
+  obs::TraceJournal::Get().SetEnabled(true);
   const size_t init = opt.scale / 5;
   const size_t segments = 8;
   const size_t inserts_per_seg = opt.scale / 10;
@@ -89,15 +111,17 @@ int main(int argc, char** argv) {
     ChameleonIndex index(config);
     index.BulkLoad(ToKeyValues(keys));
     RunTrace(&index, keys, segments, inserts_per_seg, reads_per_seg,
-             opt.seed + 1, "without retrainer:");
+             opt.seed + 1, "without retrainer:", &report);
   }
   {
     ChameleonIndex index(config);
     index.BulkLoad(ToKeyValues(keys));
     index.StartRetrainer(std::chrono::milliseconds(50));
     RunTrace(&index, keys, segments, inserts_per_seg, reads_per_seg,
-             opt.seed + 1, "with retrainer:");
+             opt.seed + 1, "with retrainer:", &report);
     index.StopRetrainer();
   }
+  report.Write();
+  DumpTraceIfRequested(opt);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/api/index_factory.h"
 #include "src/data/dataset.h"
 #include "src/util/random.h"
@@ -79,4 +80,40 @@ const int kRegistered = RegisterAll();
 }  // namespace
 }  // namespace chameleon
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the harness flags
+// (--json/--scale/...) must be stripped before benchmark::Initialize,
+// which aborts on arguments it does not recognize.
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+  const Options opt = Options::ParseStrip(&argc, argv);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Google Benchmark keeps its per-iteration timings internal, so the
+  // --json companion replays lookups and inserts through the shared
+  // histogram path for the headline indexes.
+  if (!opt.json_path.empty()) {
+    JsonReport report("tab03_complexity", opt);
+    const std::vector<Key> keys =
+        GenerateDataset(DatasetKind::kLogn, opt.scale, opt.seed);
+    for (const std::string& name : UpdatableIndexNames()) {
+      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      index->BulkLoad(ToKeyValues(keys));
+      WorkloadGenerator gen(keys, opt.seed + 1);
+      const double lookup_ns =
+          ReplayMeanNs(index.get(), gen.ReadOnly(opt.ops), report.lat());
+      const double insert_ns = ReplayMeanNs(
+          index.get(), gen.InsertDelete(opt.ops / 4, 1.0), report.lat());
+      report.AddRow()
+          .Str("index", name)
+          .Num("lookup_ns", lookup_ns)
+          .Num("insert_ns", insert_ns);
+    }
+    report.Write();
+  }
+  return 0;
+}

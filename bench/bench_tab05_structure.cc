@@ -19,6 +19,7 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  JsonReport report("tab05_structure", opt);
   std::printf("=== Table V: analysis of index structures ===\n");
   std::printf("%zu keys per dataset (paper: 200M)\n\n", opt.scale);
 
@@ -27,12 +28,26 @@ int main(int argc, char** argv) {
               "MaxHeight", "MaxError", "AvgHeight", "AvgError", "#Nodes");
   PrintRule(70);
   for (DatasetKind kind : kAllDatasets) {
-    const std::vector<KeyValue> data =
-        ToKeyValues(GenerateDataset(kind, opt.scale, opt.seed));
+    const std::vector<Key> keys = GenerateDataset(kind, opt.scale, opt.seed);
+    const std::vector<KeyValue> data = ToKeyValues(keys);
     for (const char* name : names) {
       std::unique_ptr<KvIndex> index = MakeIndex(name);
       index->BulkLoad(data);
       const IndexStats s = index->Stats();
+      // This table is structure-only; with --json a lookup replay runs
+      // so the blob carries a real latency distribution too.
+      if (report.enabled()) {
+        WorkloadGenerator gen(keys, opt.seed + 1);
+        ReplayMeanNs(index.get(), gen.ReadOnly(opt.ops), report.lat());
+      }
+      report.AddRow()
+          .Str("dataset", DatasetName(kind))
+          .Str("index", name)
+          .Num("max_height", s.max_height)
+          .Num("max_error", s.max_error)
+          .Num("avg_height", s.avg_height)
+          .Num("avg_error", s.avg_error)
+          .Num("num_nodes", static_cast<double>(s.num_nodes));
       std::printf("%-8s %-10s %9d %9.0f %9.2f %9.2f %10zu\n",
                   std::string(DatasetName(kind)).c_str(),
                   name[0] == 'C' && name[1] == 'h' && name[3] == 'm'
@@ -44,5 +59,6 @@ int main(int argc, char** argv) {
     }
     PrintRule(70);
   }
+  report.Write();
   return 0;
 }

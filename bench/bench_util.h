@@ -6,11 +6,15 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/api/index_factory.h"
 #include "src/api/kv_index.h"
 #include "src/data/dataset.h"
+#include "src/obs/latency_histogram.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace_journal.h"
 #include "src/util/timer.h"
 #include "src/workload/workload.h"
 
@@ -21,10 +25,25 @@ namespace chameleon::bench {
 ///                  uses 200M — results scale in shape, not absolutes)
 ///   --ops=N        operations per measurement (default 100'000)
 ///   --seed=N       RNG seed
+///   --json=PATH    write a machine-readable result blob (throughput,
+///                  latency percentiles, counter snapshot) to PATH
+///   --trace=PATH   dump the obs::TraceJournal as JSONL to PATH (benches
+///                  that enable the journal; see bench_fig14_retraining)
 struct Options {
   size_t scale = 200'000;
   size_t ops = 100'000;
   uint64_t seed = 42;
+  std::string json_path;
+  std::string trace_path;
+
+  static bool IsHarnessFlag(const char* arg) {
+    static constexpr const char* kPrefixes[] = {
+        "--scale=", "--ops=", "--seed=", "--json=", "--trace="};
+    for (const char* p : kPrefixes) {
+      if (std::strncmp(arg, p, std::strlen(p)) == 0) return true;
+    }
+    return std::strcmp(arg, "--help") == 0;
+  }
 
   static Options Parse(int argc, char** argv) {
     Options opt;
@@ -36,21 +55,45 @@ struct Options {
         opt.ops = v;
       } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
         opt.seed = v;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        opt.json_path = argv[i] + 7;
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        opt.trace_path = argv[i] + 8;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("options: --scale=N --ops=N --seed=N\n");
+        std::printf(
+            "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH\n");
         std::exit(0);
       }
     }
+    return opt;
+  }
+
+  /// Parse() plus removal of recognized flags from argv, for binaries
+  /// that forward the remaining arguments to another flag parser
+  /// (bench_tab03_complexity hands them to Google Benchmark).
+  static Options ParseStrip(int* argc, char** argv) {
+    const Options opt = Parse(*argc, argv);
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (!IsHarnessFlag(argv[i])) argv[kept++] = argv[i];
+    }
+    *argc = kept;
     return opt;
   }
 };
 
 /// Replays `ops` against `index` and returns mean ns/op. Lookups verify
 /// hits (a miss aborts — the workload generator guarantees validity).
-inline double ReplayMeanNs(KvIndex* index, const std::vector<Operation>& ops) {
+/// With `hist` non-null every operation is timed individually into the
+/// histogram (the mean then includes ~2 clock reads per op of overhead);
+/// with hist == nullptr the whole batch is timed with two clock reads.
+inline double ReplayMeanNs(KvIndex* index, const std::vector<Operation>& ops,
+                           obs::LatencyHistogram* hist = nullptr) {
   Timer timer;
   size_t misses = 0;
+  int64_t total_ns = 0;
   for (const Operation& op : ops) {
+    if (hist != nullptr) timer.Reset();
     switch (op.type) {
       case OpType::kLookup: {
         Value v;
@@ -64,20 +107,28 @@ inline double ReplayMeanNs(KvIndex* index, const std::vector<Operation>& ops) {
         misses += !index->Erase(op.key);
         break;
     }
+    if (hist != nullptr) {
+      const int64_t ns = timer.ElapsedNanos();
+      hist->Record(ns);
+      total_ns += ns;
+    }
   }
-  const double ns = timer.ElapsedNanos();
+  if (hist == nullptr) total_ns = timer.ElapsedNanos();
   if (misses > 0) {
     std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n", misses,
                  static_cast<int>(index->Name().size()),
                  index->Name().data());
   }
-  return ops.empty() ? 0.0 : ns / static_cast<double>(ops.size());
+  return ops.empty() ? 0.0
+                     : static_cast<double>(total_ns) /
+                           static_cast<double>(ops.size());
 }
 
 /// Mops/s for the same replay.
 inline double ReplayThroughputMops(KvIndex* index,
-                                   const std::vector<Operation>& ops) {
-  const double ns_per_op = ReplayMeanNs(index, ops);
+                                   const std::vector<Operation>& ops,
+                                   obs::LatencyHistogram* hist = nullptr) {
+  const double ns_per_op = ReplayMeanNs(index, ops, hist);
   return ns_per_op > 0.0 ? 1e3 / ns_per_op : 0.0;
 }
 
@@ -88,6 +139,170 @@ inline double ToMiB(size_t bytes) {
 inline void PrintRule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// --- Machine-readable results (--json=PATH) ---------------------------------
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects one bench run's results and writes the `--json=PATH` blob:
+///
+///   {
+///     "bench": "...", "scale": N, "ops": N, "seed": N,
+///     "throughput_mops": X,              // from the latency histogram
+///     "latency_ns": {"count","mean","p50","p90","p99","p999","max"},
+///     "rows": [ {bench-specific fields}, ... ],
+///     "counters": { "<CounterName>": total, ... }   // full registry
+///   }
+///
+/// Successive PRs diff these blobs (collected as BENCH_*.json, see
+/// EXPERIMENTS.md) to track perf over time. Usage: construct one report
+/// per binary, pass `lat()` to the replay helpers (null when --json is
+/// absent, so default runs keep batch timing), AddRow() per table cell,
+/// and Write() before exit.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& Num(std::string_view key, double v) {
+      fields_.push_back({std::string(key), true, v, {}});
+      return *this;
+    }
+    Row& Str(std::string_view key, std::string_view v) {
+      fields_.push_back({std::string(key), false, 0.0, std::string(v)});
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    struct Field {
+      std::string key;
+      bool is_num;
+      double num;
+      std::string str;
+    };
+    std::vector<Field> fields_;
+  };
+
+  JsonReport(std::string_view bench, const Options& opt)
+      : bench_(bench), opt_(opt) {}
+
+  bool enabled() const { return !opt_.json_path.empty(); }
+
+  /// Histogram to feed measured per-op latencies into; null when --json
+  /// was not requested (callers pass it straight to ReplayMeanNs).
+  obs::LatencyHistogram* lat() { return enabled() ? &lat_ : nullptr; }
+  obs::LatencyHistogram& histogram() { return lat_; }
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the blob to --json=PATH; no-op (returns true) without the
+  /// flag. Returns false and warns on I/O error.
+  bool Write() const {
+    if (!enabled()) return true;
+    FILE* f = std::fopen(opt_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARNING: cannot write --json=%s\n",
+                   opt_.json_path.c_str());
+      return false;
+    }
+    const double mean = lat_.MeanNanos();
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"scale\": %zu,\n"
+                 "  \"ops\": %zu,\n"
+                 "  \"seed\": %llu,\n",
+                 JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
+                 static_cast<unsigned long long>(opt_.seed));
+    std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
+                 mean > 0.0 ? 1e3 / mean : 0.0);
+    std::fprintf(f,
+                 "  \"latency_ns\": {\"count\": %llu, \"mean\": %.6g, "
+                 "\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g, "
+                 "\"p999\": %.6g, \"max\": %.6g},\n",
+                 static_cast<unsigned long long>(lat_.count()), mean,
+                 lat_.PercentileNanos(50), lat_.PercentileNanos(90),
+                 lat_.PercentileNanos(99), lat_.PercentileNanos(99.9),
+                 lat_.MaxNanos());
+    std::fprintf(f, "  \"rows\": [");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        const auto& field = fields[i];
+        if (field.is_num) {
+          std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                       JsonEscape(field.key).c_str(), field.num);
+        } else {
+          std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                       JsonEscape(field.key).c_str(),
+                       JsonEscape(field.str).c_str());
+        }
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s],\n", rows_.empty() ? "" : "\n  ");
+    const obs::CounterSnapshot snap = obs::StatsRegistry::Get().Snapshot();
+    std::fprintf(f, "  \"counters\": {");
+    for (size_t i = 0; i < obs::kNumCounters; ++i) {
+      const std::string_view name =
+          obs::CounterName(static_cast<obs::Counter>(i));
+      std::fprintf(f, "%s\n    \"%.*s\": %llu", i == 0 ? "" : ",",
+                   static_cast<int>(name.size()), name.data(),
+                   static_cast<unsigned long long>(snap[i]));
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::fprintf(stderr, "wrote %s\n", opt_.json_path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  Options opt_;
+  obs::LatencyHistogram lat_;
+  std::vector<Row> rows_;
+};
+
+/// Dumps the global trace journal to --trace=PATH (or, with --json=PATH
+/// only, to PATH + ".trace.jsonl"). No-op when neither flag was given.
+inline void DumpTraceIfRequested(const Options& opt) {
+  std::string path = opt.trace_path;
+  if (path.empty() && !opt.json_path.empty()) {
+    path = opt.json_path + ".trace.jsonl";
+  }
+  if (path.empty()) return;
+  if (obs::TraceJournal::Get().DumpJsonl(path)) {
+    std::fprintf(stderr, "wrote %s (%zu events)\n", path.c_str(),
+                 obs::TraceJournal::Get().size());
+  } else {
+    std::fprintf(stderr, "WARNING: cannot write trace %s\n", path.c_str());
+  }
 }
 
 }  // namespace chameleon::bench

@@ -9,8 +9,19 @@
 #include "src/baselines/pgm/pgm.h"
 #include "src/baselines/radixspline/radix_spline.h"
 #include "src/core/chameleon_index.h"
+#include "src/obs/stats.h"
 
 namespace chameleon {
+namespace {
+
+/// Counts factory-built instances so a bench JSON snapshot records how
+/// many index objects contributed to its counter totals.
+std::unique_ptr<KvIndex> Counted(std::unique_ptr<KvIndex> index) {
+  if (index != nullptr) CHAMELEON_STAT_INC(kIndexesCreated);
+  return index;
+}
+
+}  // namespace
 
 std::vector<std::string> AllIndexNames() {
   return {"B+Tree", "DIC",     "RS",   "PGM",   "ALEX",
@@ -21,7 +32,9 @@ std::vector<std::string> UpdatableIndexNames() {
   return {"B+Tree", "PGM", "ALEX", "LIPP", "DILI", "FINEdex", "Chameleon"};
 }
 
-std::unique_ptr<KvIndex> MakeIndex(std::string_view name) {
+namespace {
+
+std::unique_ptr<KvIndex> MakeIndexImpl(std::string_view name) {
   if (name == "B+Tree") return std::make_unique<BPlusTree>();
   if (name == "DIC") return std::make_unique<DicIndex>();
   if (name == "RS") return std::make_unique<RadixSpline>();
@@ -46,6 +59,12 @@ std::unique_ptr<KvIndex> MakeIndex(std::string_view name) {
     return std::make_unique<ChameleonIndex>(config);
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<KvIndex> MakeIndex(std::string_view name) {
+  return Counted(MakeIndexImpl(name));
 }
 
 }  // namespace chameleon

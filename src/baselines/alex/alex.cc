@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/stats.h"
+
 namespace chameleon {
 
 // --- Node definitions -------------------------------------------------------
@@ -398,6 +400,7 @@ std::vector<KeyValue> AlexIndex::CollectPairs(const DataNode& leaf) {
 }
 
 void AlexIndex::SplitLeaf(InnerNode* parent, size_t child_idx) {
+  CHAMELEON_STAT_INC(kNodeSplits);
   DataNode* leaf =
       parent == nullptr
           ? static_cast<DataNode*>(root_.get())

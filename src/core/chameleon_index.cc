@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/stats.h"
+#include "src/obs/trace_journal.h"
+
 namespace chameleon {
 namespace {
 
@@ -287,6 +290,8 @@ void ChameleonIndex::MaybeFullReconstruct() {
   built_size_ = all.size();
   updates_since_build_ = 0;
   ++total_full_rebuilds_;
+  CHAMELEON_STAT_INC(kFullRebuilds);
+  CHAMELEON_TRACE(kFullRebuild, built_size_, 0);
 }
 
 // --- Point operations -------------------------------------------------------
@@ -301,6 +306,7 @@ ChameleonIndex::Unit* ChameleonIndex::FindUnit(Key key) const {
 }
 
 bool ChameleonIndex::Lookup(Key key, Value* value) const {
+  CHAMELEON_STAT_INC(kLookups);
   Unit* unit = FindUnit(key);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
   if (locked) unit->lock.LockShared();
@@ -314,6 +320,7 @@ bool ChameleonIndex::Lookup(Key key, Value* value) const {
 }
 
 bool ChameleonIndex::Insert(Key key, Value value) {
+  CHAMELEON_STAT_INC(kInserts);
   Unit* unit = FindUnit(key);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
   if (locked) unit->lock.LockShared();
@@ -335,6 +342,7 @@ bool ChameleonIndex::Insert(Key key, Value value) {
 }
 
 bool ChameleonIndex::Erase(Key key) {
+  CHAMELEON_STAT_INC(kErases);
   Unit* unit = FindUnit(key);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
   if (locked) unit->lock.LockShared();
@@ -359,6 +367,7 @@ bool ChameleonIndex::Erase(Key key) {
 
 size_t ChameleonIndex::RangeScan(Key lo, Key hi,
                                  std::vector<KeyValue>* out) const {
+  CHAMELEON_STAT_INC(kRangeScans);
   // Collect the unit range covering [lo, hi] by walking the frame.
   size_t count = 0;
   struct FrameWalker {
@@ -436,7 +445,11 @@ size_t ChameleonIndex::RetrainOnce() {
     // Phase 1 (brief Retraining-Lock): snapshot the unit's records and
     // open the pending-op log. Denied while a query holds the interval;
     // the retrainer simply moves on and retries on the next pass.
-    if (!unit.lock.TryLockExclusive()) continue;
+    if (!unit.lock.TryLockExclusive()) {
+      CHAMELEON_STAT_INC(kRetrainLockDenied);
+      CHAMELEON_TRACE(kRetrainDenied, unit.lk, 0);
+      continue;
+    }
     std::vector<KeyValue> pairs;
     {
       struct Collector {
@@ -464,6 +477,7 @@ size_t ChameleonIndex::RetrainOnce() {
     // the rebuild, then swap.
     unit.lock.LockExclusive();
     size_t net = pairs.size();
+    CHAMELEON_STAT_ADD(kRetrainReplayedOps, unit.pending_log.size());
     for (const PendingOp& op : unit.pending_log) {
       SubNode* node = &fresh;
       while (!node->is_leaf()) {
@@ -483,7 +497,11 @@ size_t ChameleonIndex::RetrainOnce() {
     unit.lock.UnlockExclusive();
     ++rebuilt;
     total_retrains_.fetch_add(1, std::memory_order_relaxed);
+    CHAMELEON_STAT_INC(kUnitsRebuilt);
+    CHAMELEON_TRACE(kUnitRebuilt, unit.lk, net);
   }
+  CHAMELEON_STAT_INC(kRetrainPasses);
+  CHAMELEON_TRACE(kRetrainPass, candidates.size(), rebuilt);
   return rebuilt;
 }
 

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/stats.h"
+#include "src/obs/trace_journal.h"
+
 namespace chameleon {
 
 size_t EbhCapacityFor(size_t n, double tau, size_t min_capacity) {
@@ -149,17 +152,22 @@ bool EbhLeaf::Lookup(Key key, Value* value) const {
   for (size_t off = 1; off <= cd_; ++off) {
     if (base + off < c && keys_[base + off] == key) {
       if (value != nullptr) *value = values_[base + off];
+      CHAMELEON_STAT_ADD(kEbhProbeSteps, off);
       return true;
     }
     if (base >= off && keys_[base - off] == key) {
       if (value != nullptr) *value = values_[base - off];
+      CHAMELEON_STAT_ADD(kEbhProbeSteps, off);
       return true;
     }
   }
+  CHAMELEON_STAT_ADD(kEbhProbeSteps, cd_);
   return false;
 }
 
 void EbhLeaf::Expand(size_t new_capacity) {
+  CHAMELEON_STAT_INC(kEbhExpansions);
+  CHAMELEON_TRACE(kLeafExpansion, capacity(), new_capacity);
   std::vector<KeyValue> pairs;
   pairs.reserve(num_keys_);
   CollectUnsorted(&pairs);
@@ -194,6 +202,7 @@ bool EbhLeaf::Insert(Key key, Value value) {
     assert(off != std::numeric_limits<size_t>::max());
   }
   total_shifts_ += off;
+  CHAMELEON_STAT_ADD(kEbhShifts, off);
   cd_ = std::max(cd_, off);
   ++num_keys_;
   return true;

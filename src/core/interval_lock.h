@@ -3,8 +3,33 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
+
+#include "src/obs/stats.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 namespace chameleon {
+
+/// One iteration of spin-wait backoff: a CPU pause for the first
+/// kSpinPauseLimit iterations (keeps the waiter off the interconnect and
+/// lets SMT siblings run), then a scheduler yield — a waiter that spun
+/// this long is behind a whole subtree-swap critical section, so burning
+/// the core is pure waste.
+inline void SpinBackoff(uint64_t iteration) {
+  constexpr uint64_t kSpinPauseLimit = 64;
+  if (iteration < kSpinPauseLimit) {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
 
 /// The paper's Interval Lock (Definition 4): a lightweight lock guarding
 /// the key interval [N.lk, N.uk) of one h-th-level node. Because sibling
@@ -22,21 +47,27 @@ class IntervalLock {
   IntervalLock(const IntervalLock&) = delete;
   IntervalLock& operator=(const IntervalLock&) = delete;
 
-  /// Query-Lock (shared): spins while a retraining pass holds the
-  /// interval. Multiple queries may hold it simultaneously.
+  /// Query-Lock (shared): spins (with pause/yield backoff) while a
+  /// retraining pass holds the interval. Multiple queries may hold it
+  /// simultaneously. Spin iterations feed the query_lock_spins counter —
+  /// the direct measure of how much retraining stalls the foreground.
   void LockShared() {
     uint32_t cur = word_.load(std::memory_order_relaxed);
+    uint64_t spins = 0;
     while (true) {
       if ((cur & kRetrainBit) != 0) {
+        SpinBackoff(spins++);
         cur = word_.load(std::memory_order_relaxed);
         continue;
       }
       if (word_.compare_exchange_weak(cur, cur + 1,
                                       std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
-        return;
+        break;
       }
     }
+    CHAMELEON_STAT_INC(kQueryLockAcquired);
+    if (spins > 0) CHAMELEON_STAT_ADD(kQueryLockSpins, spins);
   }
 
   void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
@@ -46,17 +77,24 @@ class IntervalLock {
   /// retries later instead — the paper's "access request is denied").
   bool TryLockExclusive() {
     uint32_t expected = 0;
-    return word_.compare_exchange_strong(expected, kRetrainBit,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+    if (word_.compare_exchange_strong(expected, kRetrainBit,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      CHAMELEON_STAT_INC(kRetrainLockAcquired);
+      return true;
+    }
+    return false;
   }
 
-  /// Blocking exclusive acquire (spins; used for the brief subtree swap
-  /// at the end of a rebuild — query/update critical sections are
-  /// microseconds).
+  /// Blocking exclusive acquire (spins with backoff; used for the brief
+  /// subtree swap at the end of a rebuild — query/update critical
+  /// sections are microseconds).
   void LockExclusive() {
+    uint64_t spins = 0;
     while (!TryLockExclusive()) {
+      SpinBackoff(spins++);
     }
+    if (spins > 0) CHAMELEON_STAT_ADD(kRetrainLockSpins, spins);
   }
 
   void UnlockExclusive() {

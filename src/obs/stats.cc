@@ -1,0 +1,62 @@
+#include "src/obs/stats.h"
+
+namespace chameleon::obs {
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kLookups: return "lookups";
+    case Counter::kInserts: return "inserts";
+    case Counter::kErases: return "erases";
+    case Counter::kRangeScans: return "range_scans";
+    case Counter::kEbhProbeSteps: return "ebh_probe_steps";
+    case Counter::kEbhShifts: return "ebh_shifts";
+    case Counter::kEbhExpansions: return "ebh_expansions";
+    case Counter::kNodeSplits: return "node_splits";
+    case Counter::kRetrainPasses: return "retrain_passes";
+    case Counter::kUnitsRebuilt: return "units_rebuilt";
+    case Counter::kRetrainReplayedOps: return "retrain_replayed_ops";
+    case Counter::kRetrainLockDenied: return "retrain_lock_denied";
+    case Counter::kFullRebuilds: return "full_rebuilds";
+    case Counter::kQueryLockAcquired: return "query_lock_acquired";
+    case Counter::kQueryLockSpins: return "query_lock_spins";
+    case Counter::kRetrainLockAcquired: return "retrain_lock_acquired";
+    case Counter::kRetrainLockSpins: return "retrain_lock_spins";
+    case Counter::kIndexesCreated: return "indexes_created";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+StatsRegistry& StatsRegistry::Get() noexcept {
+  static StatsRegistry registry;
+  return registry;
+}
+
+uint64_t StatsRegistry::Total(Counter c) const noexcept {
+  const size_t i = static_cast<size_t>(c);
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.counts[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+CounterSnapshot StatsRegistry::Snapshot() const noexcept {
+  CounterSnapshot snap = {};
+  for (const Slot& slot : slots_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      snap[i] += slot.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void StatsRegistry::Reset() noexcept {
+  for (Slot& slot : slots_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      slot.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace chameleon::obs

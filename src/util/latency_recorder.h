@@ -3,30 +3,42 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "src/obs/latency_histogram.h"
 
 namespace chameleon {
 
 /// Collects latency samples (nanoseconds) and reports summary statistics.
 /// Used by the benchmark harnesses to report the per-operation latency
 /// figures the paper plots (mean / tail).
+///
+/// Thin wrapper over obs::LatencyHistogram: constant memory regardless
+/// of sample count, O(buckets) percentiles instead of the historical
+/// sort-a-full-copy per call, and thread-safe recording. Mean and max
+/// are exact; percentiles are quantized to < 0.4% relative error.
 class LatencyRecorder {
  public:
-  void Record(int64_t nanos) { samples_.push_back(nanos); }
-  void Clear() { samples_.clear(); }
+  void Record(int64_t nanos) { hist_.Record(nanos); }
+  void Clear() { hist_.Clear(); }
 
-  size_t count() const { return samples_.size(); }
+  size_t count() const { return hist_.count(); }
 
   /// Arithmetic mean; 0 when empty.
-  double MeanNanos() const;
+  double MeanNanos() const { return hist_.MeanNanos(); }
 
-  /// Percentile in [0, 100]; 0 when empty. Sorts a copy (call sparingly).
-  double PercentileNanos(double pct) const;
+  /// Percentile in [0, 100]; 0 when empty.
+  double PercentileNanos(double pct) const {
+    return hist_.PercentileNanos(pct);
+  }
 
-  double MaxNanos() const;
+  double MaxNanos() const { return hist_.MaxNanos(); }
+
+  /// Underlying histogram (mergeable across threads/recorders).
+  const obs::LatencyHistogram& histogram() const { return hist_; }
+  obs::LatencyHistogram& histogram() { return hist_; }
 
  private:
-  std::vector<int64_t> samples_;
+  obs::LatencyHistogram hist_;
 };
 
 }  // namespace chameleon
