@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
         index->BulkLoad(data);
         WorkloadGenerator gen(keys, opt.seed + frac);
         const std::vector<Operation> ops = gen.ReadOnly(opt.ops);
-        const double ns = ReplayMeanNs(index.get(), ops, report.lat());
+        const double ns =
+            ReplayMeanNsBatched(index.get(), ops, opt.batch, report.lat());
         std::printf("  %11.1f %12.2f", ns, ToMiB(index->SizeBytes()));
         report.AddRow()
             .Str("dataset", DatasetName(kind))

@@ -7,7 +7,9 @@
 // grows with dataset size for everyone.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/util/timer.h"
@@ -17,15 +19,26 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  // Local flag: --index=NAME restricts the sweep to one index (used by
+  // the --threads speedup runs, where building all 11 indexes at large
+  // scale would dwarf the measurement of interest).
+  std::string only_index;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--index=", 8) == 0) only_index = argv[i] + 8;
+  }
   JsonReport report("fig10_construction", opt);
   std::printf("=== Fig. 10: index construction time ===\n");
-  std::printf("%zu keys per dataset\n\n", opt.scale);
+  std::printf("%zu keys per dataset, %zu build threads\n\n", opt.scale,
+              GlobalPool().num_threads());
 
-  std::printf("%-10s %14s %14s\n", "index", "OSMC(ms)", "FACE(ms)");
-  PrintRule(44);
+  std::printf("%-10s %14s %14s %14s\n", "index", "OSMC(ms)", "FACE(ms)",
+              "LOGN(ms)");
+  PrintRule(60);
   for (const std::string& name : AllIndexNames()) {
+    if (!only_index.empty() && name != only_index) continue;
     std::printf("%-10s", name.c_str());
-    for (DatasetKind kind : {DatasetKind::kOsmc, DatasetKind::kFace}) {
+    for (DatasetKind kind :
+         {DatasetKind::kOsmc, DatasetKind::kFace, DatasetKind::kLogn}) {
       const std::vector<KeyValue> data =
           ToKeyValues(GenerateDataset(kind, opt.scale, opt.seed));
       std::unique_ptr<KvIndex> index = MakeIndex(name);

@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
         index->BulkLoad(ToKeyValues(keys));
         WorkloadGenerator gen(keys, opt.seed + 1);
         const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
-        const double mops =
-            ReplayThroughputMops(index.get(), ops, report.lat());
+        const double ns =
+            ReplayMeanNsBatched(index.get(), ops, opt.batch, report.lat());
+        const double mops = ns > 0.0 ? 1e3 / ns : 0.0;
         std::printf(" %8.3f", mops);
         report.AddRow()
             .Str("dataset", DatasetName(kind))

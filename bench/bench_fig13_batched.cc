@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
     std::printf("  writes:");
     std::vector<double> read_ns;
     for (const WorkloadPhase& phase : phases) {
-      const double ns = ReplayMeanNs(index.get(), phase.ops, report.lat());
+      const double ns =
+          ReplayMeanNsBatched(index.get(), phase.ops, opt.batch, report.lat());
       report.AddRow()
           .Str("index", name)
           .Str("phase", phase.name)

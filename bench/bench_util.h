@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/obs/latency_histogram.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/workload/workload.h"
 
@@ -29,16 +31,23 @@ namespace chameleon::bench {
 ///                  latency percentiles, counter snapshot) to PATH
 ///   --trace=PATH   dump the obs::TraceJournal as JSONL to PATH (benches
 ///                  that enable the journal; see bench_fig14_retraining)
+///   --threads=N    thread-pool width for construction/retraining (0 =
+///                  CHAMELEON_THREADS env or hardware concurrency)
+///   --batch=N      issue kLookup runs through LookupBatch in groups of
+///                  N (1 = per-key Lookup; benches that replay)
 struct Options {
   size_t scale = 200'000;
   size_t ops = 100'000;
   uint64_t seed = 42;
+  size_t threads = 0;
+  size_t batch = 1;
   std::string json_path;
   std::string trace_path;
 
   static bool IsHarnessFlag(const char* arg) {
     static constexpr const char* kPrefixes[] = {
-        "--scale=", "--ops=", "--seed=", "--json=", "--trace="};
+        "--scale=", "--ops=",     "--seed=",  "--json=",
+        "--trace=", "--threads=", "--batch="};
     for (const char* p : kPrefixes) {
       if (std::strncmp(arg, p, std::strlen(p)) == 0) return true;
     }
@@ -55,16 +64,23 @@ struct Options {
         opt.ops = v;
       } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
         opt.seed = v;
+      } else if (std::sscanf(argv[i], "--threads=%llu", &v) == 1) {
+        opt.threads = v;
+      } else if (std::sscanf(argv[i], "--batch=%llu", &v) == 1) {
+        opt.batch = v == 0 ? 1 : v;
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         opt.json_path = argv[i] + 7;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         opt.trace_path = argv[i] + 8;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH\n");
+            "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH "
+            "--threads=N --batch=N\n");
         std::exit(0);
       }
     }
+    // Resize the global pool up front, before any index construction.
+    if (opt.threads > 0) SetGlobalThreads(opt.threads);
     return opt;
   }
 
@@ -130,6 +146,71 @@ inline double ReplayThroughputMops(KvIndex* index,
                                    obs::LatencyHistogram* hist = nullptr) {
   const double ns_per_op = ReplayMeanNs(index, ops, hist);
   return ns_per_op > 0.0 ? 1e3 / ns_per_op : 0.0;
+}
+
+/// ReplayMeanNs variant that feeds maximal runs of consecutive kLookup
+/// operations through KvIndex::LookupBatch in groups of `batch` (inserts
+/// and erases still execute one at a time, in order). With batch <= 1 it
+/// defers to ReplayMeanNs, so the two timing modes are symmetric: the
+/// per-event clock cost (when `hist` is non-null) is paid once per batch
+/// here and once per op there, and the histogram records batch time /
+/// batch size. Lookup results are identical to the per-key path by the
+/// LookupBatch contract.
+inline double ReplayMeanNsBatched(KvIndex* index,
+                                  const std::vector<Operation>& ops,
+                                  size_t batch,
+                                  obs::LatencyHistogram* hist = nullptr) {
+  if (batch <= 1) return ReplayMeanNs(index, ops, hist);
+  Timer timer;
+  size_t misses = 0;
+  int64_t total_ns = 0;
+  std::vector<Key> keys(batch);
+  std::vector<Value> values(batch);
+  std::unique_ptr<bool[]> found(new bool[batch]);
+  size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].type != OpType::kLookup) {
+      if (hist != nullptr) timer.Reset();
+      if (ops[i].type == OpType::kInsert) {
+        misses += !index->Insert(ops[i].key, ops[i].value);
+      } else {
+        misses += !index->Erase(ops[i].key);
+      }
+      if (hist != nullptr) {
+        const int64_t ns = timer.ElapsedNanos();
+        hist->Record(ns);
+        total_ns += ns;
+      }
+      ++i;
+      continue;
+    }
+    size_t n = 0;
+    while (n < batch && i + n < ops.size() &&
+           ops[i + n].type == OpType::kLookup) {
+      keys[n] = ops[i + n].key;
+      ++n;
+    }
+    if (hist != nullptr) timer.Reset();
+    index->LookupBatch(std::span<const Key>(keys.data(), n), values.data(),
+                       found.get());
+    if (hist != nullptr) {
+      const int64_t ns = timer.ElapsedNanos();
+      // One clock pair per batch; attribute the mean to each member.
+      for (size_t k = 0; k < n; ++k) hist->Record(ns / static_cast<int64_t>(n));
+      total_ns += ns;
+    }
+    for (size_t k = 0; k < n; ++k) misses += !found[k];
+    i += n;
+  }
+  if (hist == nullptr) total_ns = timer.ElapsedNanos();
+  if (misses > 0) {
+    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n", misses,
+                 static_cast<int>(index->Name().size()),
+                 index->Name().data());
+  }
+  return ops.empty() ? 0.0
+                     : static_cast<double>(total_ns) /
+                           static_cast<double>(ops.size());
 }
 
 inline double ToMiB(size_t bytes) {
@@ -236,9 +317,12 @@ class JsonReport {
                  "  \"bench\": \"%s\",\n"
                  "  \"scale\": %zu,\n"
                  "  \"ops\": %zu,\n"
-                 "  \"seed\": %llu,\n",
+                 "  \"seed\": %llu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"batch\": %zu,\n",
                  JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
-                 static_cast<unsigned long long>(opt_.seed));
+                 static_cast<unsigned long long>(opt_.seed),
+                 GlobalPool().num_threads(), opt_.batch);
     std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
                  mean > 0.0 ? 1e3 / mean : 0.0);
     std::fprintf(f,

@@ -46,6 +46,20 @@ class KvIndex {
   /// and returns true.
   virtual bool Lookup(Key key, Value* value) const = 0;
 
+  /// Batched point lookup: for each keys[i] sets found[i] and, on a hit,
+  /// values[i] (misses leave values[i] untouched, exactly like Lookup
+  /// leaves *value). `values` and `found` must each hold keys.size()
+  /// slots. Results are required to be bit-identical to calling Lookup
+  /// per key; the default does exactly that, and implementations may
+  /// only reorder/pipeline the probes (ChameleonIndex overlaps groups of
+  /// independent lookups with software prefetch).
+  virtual void LookupBatch(std::span<const Key> keys, Value* values,
+                           bool* found) const {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      found[i] = Lookup(keys[i], values + i);
+    }
+  }
+
   /// Inserts a new pair; returns false if `key` already present.
   virtual bool Insert(Key key, Value value) = 0;
 

@@ -6,6 +6,7 @@
 
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
+#include "src/util/thread_pool.h"
 
 namespace chameleon {
 namespace {
@@ -121,10 +122,10 @@ size_t ChameleonIndex::FrameFanoutFor(const FrameNode& node, int level,
                                        node.lk, node.uk, mk_, Mk_, kMaxInner);
 }
 
-ChameleonIndex::SubNode ChameleonIndex::BuildSubtree(
-    std::span<const KeyValue> data, Key lk, Key uk, int depth) {
-  SubNode result;
-  SubNode* node = &result;
+void ChameleonIndex::BuildSubtreeInto(SubNode* node,
+                                      std::span<const KeyValue> data, Key lk,
+                                      Key uk, int depth,
+                                      std::vector<DeferredLeaf>* deferred) {
   node->lk = lk;
   node->uk = uk;
 
@@ -154,8 +155,14 @@ ChameleonIndex::SubNode ChameleonIndex::BuildSubtree(
   if (fanout <= 1 || uk - lk < 2) {
     node->leaf.emplace(lk, uk, data.size(), config_.tau, config_.alpha);
     node->leaf->set_adaptive_alpha(config_.adaptive_alpha);
-    node->leaf->Build(data);
-    return result;
+    if (deferred != nullptr) {
+      // The leaf lives inline in *node, which is filled in place and
+      // never moves before the caller drains the deferred list.
+      deferred->push_back({&*node->leaf, data});
+    } else {
+      node->leaf->Build(data);
+    }
+    return;
   }
 
   node->children.resize(fanout);
@@ -176,17 +183,16 @@ ChameleonIndex::SubNode ChameleonIndex::BuildSubtree(
         ++end;
       }
     }
-    node->children[c] =
-        BuildSubtree(data.subspan(begin, end - begin), child_lo, child_hi,
-                     depth + 1);
+    BuildSubtreeInto(&node->children[c], data.subspan(begin, end - begin),
+                     child_lo, child_hi, depth + 1, deferred);
     begin = end;
   }
-  return result;
 }
 
 void ChameleonIndex::BuildFrameNode(FrameNode* node,
                                     std::span<const KeyValue> data, int level,
-                                    size_t fanout_hint) {
+                                    size_t fanout_hint,
+                                    std::vector<UnitBuildTask>* unit_tasks) {
   const size_t fanout = std::max<size_t>(1, fanout_hint);
   const bool units_level = (level == h_ - 1);
 
@@ -220,7 +226,11 @@ void ChameleonIndex::BuildFrameNode(FrameNode* node,
       unit->lk = child_lo;
       unit->uk = child_hi;
       unit->built_keys = child_data.size();
-      unit->root = BuildSubtree(child_data, child_lo, child_hi, 0);
+      // Subtree builds are the expensive part of construction (TSMDP
+      // fanout decisions + EBH slot placement); record them as tasks so
+      // BuildFrame can fan them out on the thread pool. Unit pointers
+      // are stable (units_ stores unique_ptrs).
+      unit_tasks->push_back({unit.get(), child_data});
       units_.push_back(std::move(unit));
     } else {
       FrameNode& child = node->children[c];
@@ -228,7 +238,7 @@ void ChameleonIndex::BuildFrameNode(FrameNode* node,
       child.uk = child_hi;
       const size_t child_fanout =
           FrameFanoutFor(child, level + 1, child_data.size());
-      BuildFrameNode(&child, child_data, level + 1, child_fanout);
+      BuildFrameNode(&child, child_data, level + 1, child_fanout, unit_tasks);
     }
     begin = end;
   }
@@ -257,7 +267,25 @@ void ChameleonIndex::BuildFrame(std::span<const KeyValue> data) {
   frame_root_.lk = mk_;
   frame_root_.uk = Mk_;
   const size_t root_fanout = FrameFanoutFor(frame_root_, 1, n);
-  BuildFrameNode(&frame_root_, data, 1, root_fanout);
+
+  // The frame walk is serial (cheap: it only partitions spans and sizes
+  // fanouts) and records one build task per h-level unit; the expensive
+  // per-unit subtree builds then fan out on the global pool. Each task
+  // touches only its own unit, and every fanout decision inside a
+  // subtree (TSMDP cost model / frozen DQN inference) is a pure function
+  // of the unit's data — so the built structure is identical for any
+  // CHAMELEON_THREADS value.
+  std::vector<UnitBuildTask> unit_tasks;
+  BuildFrameNode(&frame_root_, data, 1, root_fanout, &unit_tasks);
+  GlobalPool().ParallelFor(
+      0, unit_tasks.size(), /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          UnitBuildTask& task = unit_tasks[i];
+          BuildSubtreeInto(&task.unit->root, task.data, task.unit->lk,
+                           task.unit->uk, 0, /*deferred=*/nullptr);
+        }
+      });
 }
 
 void ChameleonIndex::SetQuerySample(std::vector<Key> query_keys) {
@@ -317,6 +345,48 @@ bool ChameleonIndex::Lookup(Key key, Value* value) const {
   const bool found = node->leaf->Lookup(key, value);
   if (locked) unit->lock.UnlockShared();
   return found;
+}
+
+void ChameleonIndex::LookupBatch(std::span<const Key> keys, Value* values,
+                                 bool* found) const {
+  CHAMELEON_STAT_ADD(kLookups, keys.size());
+  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  // Pipeline in groups of kGroup: stage 1 walks each key down to its
+  // leaf (inner-node lines are shared across the batch and stay hot),
+  // computes the EBH home slot and prefetches its key/value lines; stage
+  // 2 runs the probes once the loads have had a group's worth of work to
+  // complete. Stage 1 takes the Query-Lock that Lookup would take and
+  // stage 2 releases it — a holder never blocks, and the retrainer's
+  // TryLockExclusive simply defers, so ordering locks this way cannot
+  // deadlock.
+  constexpr size_t kGroup = 8;
+  struct Staged {
+    Unit* unit;
+    const EbhLeaf* leaf;
+    size_t base;
+  };
+  Staged staged[kGroup];
+  for (size_t g = 0; g < keys.size(); g += kGroup) {
+    const size_t n = std::min(kGroup, keys.size() - g);
+    for (size_t i = 0; i < n; ++i) {
+      const Key key = keys[g + i];
+      Unit* unit = FindUnit(key);
+      if (locked) unit->lock.LockShared();
+      const SubNode* node = &unit->root;
+      while (!node->is_leaf()) {
+        node = &node->children[node->ChildIndex(key)];
+      }
+      const EbhLeaf* leaf = &*node->leaf;
+      const size_t base = leaf->HashSlot(key);
+      leaf->PrefetchSlot(base);
+      staged[i] = {unit, leaf, base};
+    }
+    for (size_t i = 0; i < n; ++i) {
+      found[g + i] =
+          staged[i].leaf->LookupAt(staged[i].base, keys[g + i], values + g + i);
+      if (locked) staged[i].unit->lock.UnlockShared();
+    }
+  }
 }
 
 bool ChameleonIndex::Insert(Key key, Value value) {
@@ -469,9 +539,21 @@ size_t ChameleonIndex::RetrainOnce() {
     unit.lock.UnlockExclusive();
 
     // Phase 2 (no locks): build the replacement subtree aside while the
-    // old one keeps serving queries and updates.
+    // old one keeps serving queries and updates. The structural walk is
+    // serial; the EbhLeaf::Build calls — the bulk of the work — are
+    // deferred and fanned out on the pool. No Interval Lock is held
+    // during any of this, so the non-blocking property is unchanged.
     std::sort(pairs.begin(), pairs.end());
-    SubNode fresh = BuildSubtree(pairs, unit.lk, unit.uk, 0);
+    SubNode fresh;
+    std::vector<DeferredLeaf> deferred;
+    BuildSubtreeInto(&fresh, pairs, unit.lk, unit.uk, 0, &deferred);
+    GlobalPool().ParallelFor(0, deferred.size(), /*grain=*/1,
+                             [&](size_t chunk_begin, size_t chunk_end) {
+                               for (size_t i = chunk_begin; i < chunk_end;
+                                    ++i) {
+                                 deferred[i].leaf->Build(deferred[i].data);
+                               }
+                             });
 
     // Phase 3 (brief Retraining-Lock): replay updates that raced with
     // the rebuild, then swap.

@@ -82,6 +82,14 @@ class ChameleonIndex final : public KvIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Lookup(Key key, Value* value) const override;
+  /// Pipelined batched lookup: probes are processed in groups of ~8 — a
+  /// first stage walks each key to its leaf, computes the EBH home slot
+  /// and issues software prefetches for the slot's key/value lines, and
+  /// a second stage finishes the (now cache-warm) probes. Bit-identical
+  /// results to per-key Lookup; takes the same per-interval Query-Locks
+  /// when the retrainer is live.
+  void LookupBatch(std::span<const Key> keys, Value* values,
+                   bool* found) const override;
   bool Insert(Key key, Value value) override;
   bool Erase(Key key) override;
   size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
@@ -195,14 +203,37 @@ class ChameleonIndex final : public KvIndex {
     std::vector<PendingOp> pending_log;
   };
 
+  /// A leaf whose slot-array construction was deferred by
+  /// BuildSubtreeInto so leaf builds can fan out on the thread pool.
+  /// `leaf` stays valid because subtrees are filled in place (children
+  /// vectors are sized once, before recursing) and `data` points into
+  /// the caller's stable snapshot vector.
+  struct DeferredLeaf {
+    EbhLeaf* leaf;
+    std::span<const KeyValue> data;
+  };
+  /// A unit whose subtree build was deferred by BuildFrameNode; BuildFrame
+  /// fans these out on the thread pool (one task per unit).
+  struct UnitBuildTask {
+    Unit* unit;
+    std::span<const KeyValue> data;
+  };
+
   void BuildFrame(std::span<const KeyValue> data);
   /// Recursively builds frame levels; `level` is this node's level (1 =
-  /// root). At level h-1 the children become units.
+  /// root). At level h-1 the children become units, whose subtree builds
+  /// are recorded in `*unit_tasks` instead of run inline.
   void BuildFrameNode(FrameNode* node, std::span<const KeyValue> data,
-                      int level, size_t fanout_hint);
+                      int level, size_t fanout_hint,
+                      std::vector<UnitBuildTask>* unit_tasks);
   size_t FrameFanoutFor(const FrameNode& node, int level, size_t n) const;
-  SubNode BuildSubtree(std::span<const KeyValue> data, Key lk, Key uk,
-                       int depth);
+  /// Builds the subtree over `data` into `*node` (filled in place so
+  /// leaf addresses are stable). With `deferred` non-null, leaves are
+  /// created but their Build() calls are appended to `*deferred` for the
+  /// caller to fan out; with nullptr, leaves are built inline.
+  void BuildSubtreeInto(SubNode* node, std::span<const KeyValue> data, Key lk,
+                        Key uk, int depth,
+                        std::vector<DeferredLeaf>* deferred);
   Unit* FindUnit(Key key) const;
   void RetrainerLoop(std::chrono::milliseconds interval);
   /// Triggers the Sec.-V full reconstruction when the cumulative update

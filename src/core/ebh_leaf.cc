@@ -69,17 +69,28 @@ size_t EbhLeaf::Place(Key key, Value value) {
     values_[base] = value;
     return 0;
   }
-  // Nearest free slot, alternating sides (bounded by the array ends).
-  for (size_t off = 1; off < c; ++off) {
-    if (base + off < c && !occupied(base + off)) {
-      keys_[base + off] = key;
-      values_[base + off] = value;
-      return off;
+  // Nearest free slot, alternating sides. Each side is dropped from the
+  // scan once it runs off the array end, so a probe in a nearly-full
+  // table pays one bound check per *live* side instead of re-testing
+  // both bounds for up to `c` offsets.
+  bool up_open = base + 1 < c;
+  bool down_open = base > 0;
+  for (size_t off = 1; up_open || down_open; ++off) {
+    if (up_open) {
+      if (!occupied(base + off)) {
+        keys_[base + off] = key;
+        values_[base + off] = value;
+        return off;
+      }
+      up_open = base + off + 1 < c;
     }
-    if (base >= off && !occupied(base - off)) {
-      keys_[base - off] = key;
-      values_[base - off] = value;
-      return off;
+    if (down_open) {
+      if (!occupied(base - off)) {
+        keys_[base - off] = key;
+        values_[base - off] = value;
+        return off;
+      }
+      down_open = base > off;
     }
   }
   return std::numeric_limits<size_t>::max();
@@ -140,29 +151,34 @@ void EbhLeaf::Build(std::span<const KeyValue> data) {
   }
 }
 
-bool EbhLeaf::Lookup(Key key, Value* value) const {
-  const size_t c = capacity();
-  const size_t base = HashSlot(key);
+bool EbhLeaf::LookupAt(size_t base, Key key, Value* value) const {
   // Error-bounded probe: the key, if present, lies within +-cd_ of its
   // hash slot. Empty slots hold the sentinel and simply never match.
   if (keys_[base] == key) {
     if (value != nullptr) *value = values_[base];
     return true;
   }
-  for (size_t off = 1; off <= cd_; ++off) {
-    if (base + off < c && keys_[base + off] == key) {
-      if (value != nullptr) *value = values_[base + off];
-      CHAMELEON_STAT_ADD(kEbhProbeSteps, off);
-      return true;
-    }
-    if (base >= off && keys_[base - off] == key) {
-      if (value != nullptr) *value = values_[base - off];
-      CHAMELEON_STAT_ADD(kEbhProbeSteps, off);
-      return true;
-    }
+  if (cd_ == 0) {
+    return false;
   }
-  CHAMELEON_STAT_ADD(kEbhProbeSteps, cd_);
-  return false;
+  // Windowed scan over [base-cd, base+cd] clamped to the array: one
+  // contiguous forward pass with a conditional-select accumulator and no
+  // early exit, which the compiler can vectorize. Keys are unique, so at
+  // most one slot matches and scan order cannot change the result.
+  const size_t c = capacity();
+  const size_t lo = base > cd_ ? base - cd_ : 0;
+  const size_t hi = base + cd_ < c ? base + cd_ : c - 1;
+  size_t pos = c;  // c = "not found"
+  for (size_t i = lo; i <= hi; ++i) {
+    pos = keys_[i] == key ? i : pos;
+  }
+  if (pos == c) {
+    CHAMELEON_STAT_ADD(kEbhProbeSteps, cd_);
+    return false;
+  }
+  if (value != nullptr) *value = values_[pos];
+  CHAMELEON_STAT_ADD(kEbhProbeSteps, pos > base ? pos - base : base - pos);
+  return true;
 }
 
 void EbhLeaf::Expand(size_t new_capacity) {
@@ -212,15 +228,18 @@ bool EbhLeaf::Erase(Key key) {
   if (key == kEbhEmptySlot) return false;
   const size_t c = capacity();
   const size_t base = HashSlot(key);
-  for (size_t off = 0; off <= cd_; ++off) {
-    if (base + off < c && keys_[base + off] == key) {
-      keys_[base + off] = kEbhEmptySlot;
+  const size_t lo = base > cd_ ? base - cd_ : 0;
+  const size_t hi = base + cd_ < c ? base + cd_ : c - 1;
+  for (size_t i = lo; i <= hi; ++i) {
+    if (keys_[i] == key) {
+      keys_[i] = kEbhEmptySlot;
+      // Zero the payload with the sentinel: empty slots must never
+      // carry a stale value (serialization persists the raw arrays, and
+      // the invariant "!occupied => value == 0" keeps snapshots
+      // reproducible).
+      values_[i] = 0;
       --num_keys_;
-      return true;
-    }
-    if (off > 0 && base >= off && keys_[base - off] == key) {
-      keys_[base - off] = kEbhEmptySlot;
-      --num_keys_;
+      CHAMELEON_STAT_INC(kEbhErases);
       return true;
     }
   }

@@ -51,7 +51,25 @@ class EbhLeaf {
   /// Bulk build from sorted pairs (all keys must lie in [lk, uk)).
   void Build(std::span<const KeyValue> data);
 
-  bool Lookup(Key key, Value* value) const;
+  bool Lookup(Key key, Value* value) const {
+    return LookupAt(HashSlot(key), key, value);
+  }
+
+  /// The probe kernel with the home slot precomputed (the batched read
+  /// path computes it in a prefetch stage; see ChameleonIndex::
+  /// LookupBatch). `base` must equal HashSlot(key).
+  bool LookupAt(size_t base, Key key, Value* value) const;
+
+  /// Issues a software prefetch for slot `base`'s key and value lines so
+  /// a later LookupAt(base, ...) finds them in cache.
+  void PrefetchSlot(size_t base) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(keys_.data() + base, /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(values_.data() + base, 0, 1);
+#else
+    (void)base;
+#endif
+  }
 
   /// Returns false on duplicate. Expands (rehashes at Theorem-1 capacity
   /// for the new population) when the load factor crosses the threshold

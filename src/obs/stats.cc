@@ -22,6 +22,7 @@ std::string_view CounterName(Counter c) {
     case Counter::kRetrainLockAcquired: return "retrain_lock_acquired";
     case Counter::kRetrainLockSpins: return "retrain_lock_spins";
     case Counter::kIndexesCreated: return "indexes_created";
+    case Counter::kEbhErases: return "ebh_erases";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -41,6 +41,9 @@ enum class Counter : uint32_t {
   kRetrainLockSpins,
   // API layer.
   kIndexesCreated,
+  // EBH slot-level erases (appended after kIndexesCreated so existing
+  // JSON snapshots stay diffable; see the catalog note above).
+  kEbhErases,
 
   kCount,  // sentinel — keep last
 };

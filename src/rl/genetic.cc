@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <utility>
+
+#include "src/util/thread_pool.h"
 
 namespace chameleon {
 
@@ -65,13 +68,36 @@ std::vector<float> GeneticOptimizer::Optimize(const FitnessFn& fitness) {
     double fitness;
   };
 
-  std::vector<Scored> population;
-  population.reserve(config_.population * 3);
+  // Scores a batch of genomes on the global pool. Genomes are always
+  // *generated* serially (all RNG draws happen on this thread, in the
+  // same order regardless of thread count) and only the pure fitness
+  // evaluations fan out, with each result landing in its genome's slot —
+  // so the returned batch, and with it the whole GA trajectory, is
+  // bit-identical for any CHAMELEON_THREADS value.
+  auto score_batch = [&fitness](std::vector<std::vector<float>> genomes) {
+    std::vector<double> scores(genomes.size());
+    GlobalPool().ParallelFor(0, genomes.size(), /*grain=*/1,
+                             [&](size_t chunk_begin, size_t chunk_end) {
+                               for (size_t i = chunk_begin; i < chunk_end;
+                                    ++i) {
+                                 scores[i] = fitness(genomes[i]);
+                               }
+                             });
+    std::vector<Scored> scored;
+    scored.reserve(genomes.size());
+    for (size_t i = 0; i < genomes.size(); ++i) {
+      scored.push_back({std::move(genomes[i]), scores[i]});
+    }
+    return scored;
+  };
+
+  std::vector<std::vector<float>> seeds;
+  seeds.reserve(config_.population);
   for (size_t i = 0; i < config_.population; ++i) {
-    std::vector<float> g = RandomGenome();
-    const double f = fitness(g);
-    population.push_back({std::move(g), f});
+    seeds.push_back(RandomGenome());
   }
+  std::vector<Scored> population = score_batch(std::move(seeds));
+  population.reserve(config_.population * 3);
   auto by_fitness = [](const Scored& a, const Scored& b) {
     return a.fitness > b.fitness;
   };
@@ -83,21 +109,17 @@ std::vector<float> GeneticOptimizer::Optimize(const FitnessFn& fitness) {
 
   for (size_t gen = 0; gen < config_.generations; ++gen) {
     ++generations_run_;
-    std::vector<Scored> offspring;
+    std::vector<std::vector<float>> candidates;
     // Type-1 mutation: inject entirely new genotypes.
     const size_t fresh =
         std::max<size_t>(1, static_cast<size_t>(config_.population *
                                                 config_.fresh_mutation_rate));
     for (size_t i = 0; i < fresh; ++i) {
-      std::vector<float> g = RandomGenome();
-      const double f = fitness(g);
-      offspring.push_back({std::move(g), f});
+      candidates.push_back(RandomGenome());
     }
     // Type-2 mutation of survivors.
     for (const Scored& parent : population) {
-      std::vector<float> g = PointMutate(parent.genome);
-      const double f = fitness(g);
-      offspring.push_back({std::move(g), f});
+      candidates.push_back(PointMutate(parent.genome));
     }
     // Crossover between random survivor pairs.
     const size_t crossings =
@@ -105,10 +127,9 @@ std::vector<float> GeneticOptimizer::Optimize(const FitnessFn& fitness) {
     for (size_t i = 0; i < crossings; ++i) {
       const Scored& a = population[rng_.NextBounded(population.size())];
       const Scored& b = population[rng_.NextBounded(population.size())];
-      std::vector<float> g = Crossover(a.genome, b.genome);
-      const double f = fitness(g);
-      offspring.push_back({std::move(g), f});
+      candidates.push_back(Crossover(a.genome, b.genome));
     }
+    std::vector<Scored> offspring = score_batch(std::move(candidates));
     // Selection: keep the top X of parents + offspring.
     for (Scored& s : offspring) population.push_back(std::move(s));
     std::sort(population.begin(), population.end(), by_fitness);

@@ -30,7 +30,11 @@ struct GaConfig {
   uint64_t seed = 17;
 };
 
-/// Fitness oracle; higher is better.
+/// Fitness oracle; higher is better. Optimize scores each batch of
+/// candidate genomes on the global thread pool, so the callable must be
+/// safe to invoke concurrently from multiple threads (DARE's analytic
+/// frame simulation and its critic's inference-only Forward both are:
+/// they only read agent state).
 using FitnessFn = std::function<double(std::span<const float>)>;
 
 /// Genetic algorithm over fixed-length float genomes, implementing the

@@ -104,6 +104,43 @@ TEST(EbhLeafTest, InsertEraseReinsert) {
   EXPECT_EQ(v, 123u);
 }
 
+TEST(EbhLeafTest, EraseZeroesValueSlot) {
+  // The serializer's invariant is "!occupied => value == 0"; Erase must
+  // scrub the value slot, not just the key sentinel, or a save/load
+  // round-trip after deletions diverges from the live structure.
+  EbhLeaf leaf(0, 1'000, 8, 0.45);
+  ASSERT_TRUE(leaf.Insert(123, 0xFEED));
+  ASSERT_TRUE(leaf.Erase(123));
+  for (size_t i = 0; i < leaf.capacity(); ++i) {
+    if (leaf.raw_keys()[i] == kEbhEmptySlot) {
+      EXPECT_EQ(leaf.raw_values()[i], 0u) << "slot " << i;
+    }
+  }
+}
+
+TEST(EbhLeafTest, PlaceFindsSlotWhenOneSideIsExhausted) {
+  // Fill a fixed-capacity leaf whose keys all hash near slot 0, so the
+  // downward probe direction exhausts immediately and every placement
+  // must come from the upward side. A probe loop that stops when either
+  // side goes out of bounds would fail these inserts even though free
+  // slots remain.
+  EbhLeaf leaf = EbhLeaf::WithExplicitCapacity(0, 1'000'000'000, 64, 0.45,
+                                               /*alpha=*/131.0);
+  // Key 0 hashes to slot 0 regardless of alpha; near-zero keys stay in
+  // the lowest slots. Insert enough of them that placements are forced
+  // to displace far upward past the (immediately exhausted) low side.
+  size_t inserted = 0;
+  for (Key k = 0; k < 40; ++k) {
+    inserted += leaf.Insert(k, k + 1);
+  }
+  EXPECT_EQ(inserted, 40u);
+  for (Key k = 0; k < 40; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(leaf.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k + 1);
+  }
+}
+
 TEST(EbhLeafTest, GrowsUnderInsertPressure) {
   EbhLeaf leaf(0, 1'000'000, 8, 0.45);
   const size_t initial_cap = leaf.capacity();

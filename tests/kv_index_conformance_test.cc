@@ -16,6 +16,7 @@
 #include "src/api/kv_index.h"
 #include "src/data/dataset.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/workload.h"
 
 namespace chameleon {
@@ -163,6 +164,56 @@ TEST_P(ConformanceTest, RangeScanMatchesReference) {
   }
 }
 
+TEST_P(ConformanceTest, LookupBatchMatchesPerKeyLookup) {
+  // One batch mixing hits, misses, and duplicates; results must be
+  // bit-identical to per-key Lookup, including values[i] left untouched
+  // on a miss.
+  Rng rng(31);
+  std::vector<Key> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back(data_[rng.NextBounded(data_.size())].key);  // hit
+    keys.push_back(data_[rng.NextBounded(data_.size())].key + 1);  // mostly miss
+  }
+  keys.push_back(keys.front());  // duplicates within the batch
+  keys.push_back(keys.front());
+
+  constexpr Value kSentinel = 0xDEADBEEFCAFEF00Dull;
+  std::vector<Value> batch_values(keys.size(), kSentinel);
+  std::unique_ptr<bool[]> batch_found(new bool[keys.size()]);
+  index_->LookupBatch(keys, batch_values.data(), batch_found.get());
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value v = kSentinel;
+    const bool found = index_->Lookup(keys[i], &v);
+    ASSERT_EQ(batch_found[i], found) << "key " << keys[i];
+    ASSERT_EQ(batch_values[i], v) << "key " << keys[i];
+  }
+}
+
+TEST_P(ConformanceTest, LookupBatchLargerThanIndex) {
+  // A batch that dwarfs the population: build a tiny 8-key index and
+  // probe it with a hundred keys in one call.
+  const auto& [name, kind] = GetParam();
+  std::unique_ptr<KvIndex> tiny = MakeIndex(name);
+  std::vector<KeyValue> small;
+  for (Key k = 10; k <= 80; k += 10) small.push_back({k, k * 2});
+  tiny->BulkLoad(small);
+
+  std::vector<Key> keys;
+  for (Key k = 1; k <= 100; ++k) keys.push_back(k);
+  std::vector<Value> values(keys.size(), 0);
+  std::unique_ptr<bool[]> found(new bool[keys.size()]);
+  tiny->LookupBatch(keys, values.data(), found.get());
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const bool expect_hit = keys[i] % 10 == 0 && keys[i] >= 10 && keys[i] <= 80;
+    ASSERT_EQ(found[i], expect_hit) << keys[i];
+    if (expect_hit) {
+      EXPECT_EQ(values[i], keys[i] * 2);
+    }
+  }
+}
+
 TEST_P(ConformanceTest, StatsAndSizeAreSane) {
   const IndexStats stats = index_->Stats();
   EXPECT_GE(stats.max_height, 1);
@@ -172,6 +223,41 @@ TEST_P(ConformanceTest, StatsAndSizeAreSane) {
   EXPECT_GE(stats.max_error, stats.avg_error - 1e-9);
   // The index must account at least for the payloads it stores.
   EXPECT_GE(index_->SizeBytes(), data_.size() * sizeof(Value) / 2);
+}
+
+// Parallel construction must be deterministic: building the same data
+// with a 1-thread and a 4-thread pool yields an identical structure
+// (same stats, same footprint, and the same answers).
+TEST(ParallelBuildDeterminismTest, ThreadCountDoesNotChangeStructure) {
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kLogn, 50'000, /*seed=*/13);
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+  for (const std::string& name : {std::string("ChaB"), std::string("ChaDA"),
+                                  std::string("Chameleon")}) {
+    SetGlobalThreads(1);
+    std::unique_ptr<KvIndex> serial = MakeIndex(name);
+    serial->BulkLoad(data);
+    SetGlobalThreads(4);
+    std::unique_ptr<KvIndex> parallel = MakeIndex(name);
+    parallel->BulkLoad(data);
+    SetGlobalThreads(0);  // restore the default for other tests
+
+    const IndexStats a = serial->Stats();
+    const IndexStats b = parallel->Stats();
+    EXPECT_EQ(a.max_height, b.max_height) << name;
+    EXPECT_EQ(a.num_nodes, b.num_nodes) << name;
+    EXPECT_DOUBLE_EQ(a.avg_height, b.avg_height) << name;
+    EXPECT_DOUBLE_EQ(a.max_error, b.max_error) << name;
+    EXPECT_DOUBLE_EQ(a.avg_error, b.avg_error) << name;
+    EXPECT_EQ(serial->SizeBytes(), parallel->SizeBytes()) << name;
+    EXPECT_EQ(serial->size(), parallel->size()) << name;
+    for (size_t i = 0; i < data.size(); i += 97) {
+      Value va = 0, vb = 0;
+      ASSERT_TRUE(serial->Lookup(data[i].key, &va));
+      ASSERT_TRUE(parallel->Lookup(data[i].key, &vb));
+      ASSERT_EQ(va, vb);
+    }
+  }
 }
 
 std::vector<Param> AllParams() {

@@ -1,0 +1,155 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+// Records the chunk boundaries a ParallelFor produced, in chunk order.
+std::vector<std::pair<size_t, size_t>> ChunksOf(ThreadPool& pool, size_t begin,
+                                                size_t end, size_t grain) {
+  // Chunk index is recoverable from chunk_begin, so concurrent writers
+  // land in disjoint slots.
+  const size_t n = end > begin ? end - begin : 0;
+  const size_t g = std::max<size_t>(1, grain);
+  std::vector<std::pair<size_t, size_t>> chunks((n + g - 1) / g);
+  pool.ParallelFor(begin, end, grain, [&](size_t b, size_t e) {
+    chunks[(b - begin) / g] = {b, e};
+  });
+  return chunks;
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 7, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesFn) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(9, 3, 1, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneCall) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  size_t seen_b = 99, seen_e = 0;
+  pool.ParallelFor(3, 10, 1000, [&](size_t b, size_t e) {
+    calls.fetch_add(1);
+    seen_b = b;
+    seen_e = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_b, 3u);
+  EXPECT_EQ(seen_e, 10u);
+}
+
+TEST(ThreadPoolTest, GrainZeroBehavesAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(0, 17, 0, [&](size_t b, size_t e) {
+    EXPECT_EQ(e, b + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 17u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100, 10, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+  for (const auto& [begin, end, grain] :
+       {std::tuple<size_t, size_t, size_t>{0, 1000, 64},
+        {13, 999, 17},
+        {0, 3, 1},
+        {5, 6, 100}}) {
+    EXPECT_EQ(ChunksOf(one, begin, end, grain),
+              ChunksOf(four, begin, end, grain))
+        << begin << " " << end << " " << grain;
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t b, size_t) {
+                         if (b == 42) throw std::runtime_error("chunk 42");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing loop and runs the next one fully.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 100, 3, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsFromTwoThreads) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 50'000;
+  std::vector<uint32_t> a(kN), b(kN);
+  auto run = [&pool, kN](std::vector<uint32_t>* out) {
+    pool.ParallelFor(0, kN, 128, [out](size_t cb, size_t ce) {
+      for (size_t i = cb; i < ce; ++i) (*out)[i] = static_cast<uint32_t>(i);
+    });
+  };
+  std::thread other([&] { run(&b); });
+  run(&a);
+  other.join();
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(a[i], i) << i;
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {
+  const char* saved = std::getenv("CHAMELEON_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+
+  setenv("CHAMELEON_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3u);
+  setenv("CHAMELEON_THREADS", "garbage", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);  // falls back to hardware
+  setenv("CHAMELEON_THREADS", "0", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+
+  if (saved) {
+    setenv("CHAMELEON_THREADS", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("CHAMELEON_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsResizes) {
+  SetGlobalThreads(2);
+  EXPECT_EQ(GlobalPool().num_threads(), 2u);
+  SetGlobalThreads(5);
+  EXPECT_EQ(GlobalPool().num_threads(), 5u);
+  SetGlobalThreads(0);  // restore the default for the rest of the suite
+  EXPECT_EQ(GlobalPool().num_threads(), DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace chameleon
