@@ -38,12 +38,14 @@ int main(int argc, char** argv) {
         const size_t n = opt.scale * frac / 4;
         const std::vector<Key> keys = GenerateDataset(kind, n, opt.seed);
         const std::vector<KeyValue> data = ToKeyValues(keys);
-        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(data);
         WorkloadGenerator gen(keys, opt.seed + frac);
         const std::vector<Operation> ops = gen.ReadOnly(opt.ops);
+        // Read-only stream: the driver may fan it out over --rthreads.
         const double ns =
-            ReplayMeanNsBatched(index.get(), ops, opt.batch, report.lat());
+            Replay(index.get(), ops, ReadReplayOptions(opt), report.lat())
+                .MeanNs();
         std::printf("  %11.1f %12.2f", ns, ToMiB(index->SizeBytes()));
         report.AddRow()
             .Str("dataset", DatasetName(kind))

@@ -6,10 +6,12 @@
 // agent per node), DILI is slow (two-phase BU+TD); construction time
 // grows with dataset size for everyone.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/util/timer.h"
@@ -25,6 +27,18 @@ int main(int argc, char** argv) {
   std::string only_index;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--index=", 8) == 0) only_index = argv[i] + 8;
+  }
+  // Unknown --index names fail loudly: a silent empty table looks like a
+  // successful run to sweep scripts diffing the JSON blobs.
+  if (!only_index.empty()) {
+    const std::vector<std::string> names = AllIndexNames();
+    if (std::find(names.begin(), names.end(), only_index) == names.end()) {
+      std::fprintf(stderr, "ERROR: --index=%s matches no index; valid names:",
+                   only_index.c_str());
+      for (const std::string& n : names) std::fprintf(stderr, " %s", n.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
   }
   JsonReport report("fig10_construction", opt);
   std::printf("=== Fig. 10: index construction time ===\n");

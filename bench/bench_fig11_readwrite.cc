@@ -35,12 +35,18 @@ int main(int argc, char** argv) {
       std::printf("%-10s", name.c_str());
       for (double r : ratios) {
         const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
-        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(ToKeyValues(keys));
         WorkloadGenerator gen(keys, opt.seed + 1);
         const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
+        // Only the all-read point (write ratio 0) may fan out over
+        // --rthreads; every other ratio carries writes and stays on the
+        // driver's single-threaded path (single-writer indexes).
         const double ns =
-            ReplayMeanNsBatched(index.get(), ops, opt.batch, report.lat());
+            Replay(index.get(), ops,
+                   r == 0.0 ? ReadReplayOptions(opt) : WriteReplayOptions(opt),
+                   report.lat())
+                .MeanNs();
         const double mops = ns > 0.0 ? 1e3 / ns : 0.0;
         std::printf(" %8.3f", mops);
         report.AddRow()

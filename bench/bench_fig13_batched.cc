@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : UpdatableIndexNames()) {
     const std::vector<Key> keys =
         GenerateDataset(DatasetKind::kLogn, init, opt.seed);
-    std::unique_ptr<KvIndex> index = MakeIndex(name);
+    std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
     index->BulkLoad(ToKeyValues(keys));
     WorkloadGenerator gen(keys, opt.seed + 3);
     const std::vector<WorkloadPhase> phases = gen.Batched(pool, queries);
@@ -40,8 +40,14 @@ int main(int argc, char** argv) {
     std::printf("  writes:");
     std::vector<double> read_ns;
     for (const WorkloadPhase& phase : phases) {
+      // Query phases are pure lookups and may fan out over --rthreads;
+      // insert/delete phases stay single-threaded (single-writer).
+      const bool read_only = phase.name.rfind("query", 0) == 0;
       const double ns =
-          ReplayMeanNsBatched(index.get(), phase.ops, opt.batch, report.lat());
+          Replay(index.get(), phase.ops,
+                 read_only ? ReadReplayOptions(opt) : WriteReplayOptions(opt),
+                 report.lat())
+              .MeanNs();
       report.AddRow()
           .Str("index", name)
           .Str("phase", phase.name)

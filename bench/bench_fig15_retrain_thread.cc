@@ -20,7 +20,6 @@
 
 #include "bench/bench_util.h"
 #include "src/core/chameleon_index.h"
-#include "src/util/timer.h"
 
 using namespace chameleon;
 using namespace chameleon::bench;
@@ -29,40 +28,24 @@ namespace {
 
 void RunTrace(ChameleonIndex* index, const std::vector<Key>& keys,
               size_t segments, size_t inserts_per_seg, size_t reads_per_seg,
-              uint64_t seed, const char* label, JsonReport* report) {
+              uint64_t seed, const char* label, const Options& opt,
+              JsonReport* report) {
   WorkloadGenerator gen(keys, seed);
   obs::LatencyHistogram* hist = report->lat();
   std::vector<double> read_ns, write_ns;
   for (size_t s = 0; s < segments; ++s) {
+    // Writes stay on one driver thread (the paper's single workload
+    // writer); the read segment fans out over --rthreads reader threads
+    // while the retrainer keeps rebuilding drifted units — the fig15
+    // scenario with R concurrent foreground readers.
     const std::vector<Operation> inserts =
         gen.InsertDelete(inserts_per_seg, 1.0);
-    Timer tw;
-    for (const Operation& op : inserts) {
-      if (hist != nullptr) {
-        Timer t;
-        index->Insert(op.key, op.value);
-        hist->Record(t.ElapsedNanos());
-      } else {
-        index->Insert(op.key, op.value);
-      }
-    }
-    write_ns.push_back(tw.ElapsedNanos() /
-                       static_cast<double>(inserts.size()));
+    write_ns.push_back(
+        Replay(index, inserts, WriteReplayOptions(opt), hist).MeanNs());
 
     const std::vector<Operation> reads = gen.ReadOnly(reads_per_seg);
-    Timer tr;
-    for (const Operation& op : reads) {
-      Value v;
-      if (hist != nullptr) {
-        Timer t;
-        index->Lookup(op.key, &v);
-        hist->Record(t.ElapsedNanos());
-      } else {
-        index->Lookup(op.key, &v);
-      }
-    }
-    read_ns.push_back(tr.ElapsedNanos() /
-                      static_cast<double>(reads.size()));
+    read_ns.push_back(
+        Replay(index, reads, ReadReplayOptions(opt), hist).MeanNs());
     report->AddRow()
         .Str("config", label)
         .Num("segment", static_cast<double>(s))
@@ -98,8 +81,10 @@ int main(int argc, char** argv) {
   const size_t reads_per_seg = opt.ops / 4;
 
   std::printf("=== Fig. 15: latency with/without retraining thread ===\n");
-  std::printf("init %zu FACE keys; %zu segments x (%zu inserts + %zu reads)\n\n",
-              init, segments, inserts_per_seg, reads_per_seg);
+  std::printf(
+      "init %zu FACE keys; %zu segments x (%zu inserts + %zu reads), "
+      "%zu reader thread(s)\n\n",
+      init, segments, inserts_per_seg, reads_per_seg, opt.rthreads);
 
   const std::vector<Key> keys =
       GenerateDataset(DatasetKind::kFace, init, opt.seed);
@@ -111,14 +96,14 @@ int main(int argc, char** argv) {
     ChameleonIndex index(config);
     index.BulkLoad(ToKeyValues(keys));
     RunTrace(&index, keys, segments, inserts_per_seg, reads_per_seg,
-             opt.seed + 1, "without retrainer:", &report);
+             opt.seed + 1, "without retrainer:", opt, &report);
   }
   {
     ChameleonIndex index(config);
     index.BulkLoad(ToKeyValues(keys));
     index.StartRetrainer(std::chrono::milliseconds(50));
     RunTrace(&index, keys, segments, inserts_per_seg, reads_per_seg,
-             opt.seed + 1, "with retrainer:", &report);
+             opt.seed + 1, "with retrainer:", opt, &report);
     index.StopRetrainer();
   }
   report.Write();

@@ -13,11 +13,13 @@
 #include "src/api/index_factory.h"
 #include "src/api/kv_index.h"
 #include "src/data/dataset.h"
+#include "src/engine/sharded_index.h"
 #include "src/obs/latency_histogram.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
+#include "src/workload/driver.h"
 #include "src/workload/workload.h"
 
 namespace chameleon::bench {
@@ -35,19 +37,31 @@ namespace chameleon::bench {
 ///                  CHAMELEON_THREADS env or hardware concurrency)
 ///   --batch=N      issue kLookup runs through LookupBatch in groups of
 ///                  N (1 = per-key Lookup; benches that replay)
+///   --shards=N     serve through the engine layer: wrap each index in
+///                  ShardedIndex with N range-partitioned shards (1 =
+///                  the plain index, bit-identical to the historical
+///                  single-index path)
+///   --rthreads=R   foreground replay threads for read-only replays
+///                  (driver layer; write-bearing streams stay on one
+///                  thread — the indexes are single-writer)
+///   --warmup=N     leading ops replayed untimed before measurement
 struct Options {
   size_t scale = 200'000;
   size_t ops = 100'000;
   uint64_t seed = 42;
   size_t threads = 0;
   size_t batch = 1;
+  size_t shards = 1;
+  size_t rthreads = 1;
+  size_t warmup = 0;
   std::string json_path;
   std::string trace_path;
 
   static bool IsHarnessFlag(const char* arg) {
     static constexpr const char* kPrefixes[] = {
-        "--scale=", "--ops=",     "--seed=",  "--json=",
-        "--trace=", "--threads=", "--batch="};
+        "--scale=", "--ops=",     "--seed=",   "--json=",
+        "--trace=", "--threads=", "--batch=",  "--shards=",
+        "--rthreads=", "--warmup="};
     for (const char* p : kPrefixes) {
       if (std::strncmp(arg, p, std::strlen(p)) == 0) return true;
     }
@@ -68,6 +82,12 @@ struct Options {
         opt.threads = v;
       } else if (std::sscanf(argv[i], "--batch=%llu", &v) == 1) {
         opt.batch = v == 0 ? 1 : v;
+      } else if (std::sscanf(argv[i], "--shards=%llu", &v) == 1) {
+        opt.shards = v == 0 ? 1 : v;
+      } else if (std::sscanf(argv[i], "--rthreads=%llu", &v) == 1) {
+        opt.rthreads = v == 0 ? 1 : v;
+      } else if (std::sscanf(argv[i], "--warmup=%llu", &v) == 1) {
+        opt.warmup = v;
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         opt.json_path = argv[i] + 7;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -75,7 +95,7 @@ struct Options {
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH "
-            "--threads=N --batch=N\n");
+            "--threads=N --batch=N --shards=N --rthreads=R --warmup=N\n");
         std::exit(0);
       }
     }
@@ -98,46 +118,46 @@ struct Options {
   }
 };
 
+/// Creates the index a bench drives for `name` under the current
+/// options: the plain factory index at --shards=1, or the engine-layer
+/// ShardedIndex wrapping N factory instances at --shards=N.
+inline std::unique_ptr<KvIndex> MakeBenchIndex(std::string_view name,
+                                               const Options& opt) {
+  return opt.shards <= 1 ? MakeIndex(name)
+                         : MakeShardedIndex(name, opt.shards);
+}
+
+/// Replay options for this bench's read-only replays: R = --rthreads
+/// driver threads, --batch lookup batching, --warmup untimed lead-in.
+inline ReplayOptions ReadReplayOptions(const Options& opt) {
+  ReplayOptions ro;
+  ro.threads = opt.rthreads;
+  ro.batch = opt.batch;
+  ro.warmup = opt.warmup;
+  return ro;
+}
+
+/// Replay options for write-bearing replays: single driver thread (the
+/// indexes are single-writer), --batch still applies to lookup runs.
+inline ReplayOptions WriteReplayOptions(const Options& opt) {
+  ReplayOptions ro;
+  ro.batch = opt.batch;
+  ro.warmup = opt.warmup;
+  return ro;
+}
+
 /// Replays `ops` against `index` and returns mean ns/op. Lookups verify
-/// hits (a miss aborts — the workload generator guarantees validity).
+/// hits (a miss warns — the workload generator guarantees validity).
 /// With `hist` non-null every operation is timed individually into the
 /// histogram (the mean then includes ~2 clock reads per op of overhead);
 /// with hist == nullptr the whole batch is timed with two clock reads.
+///
+/// Thin wrapper over the driver layer (src/workload/driver.h) in its
+/// single-threaded mode — the replay loop itself is unchanged, so
+/// numbers stay comparable with pre-driver BENCH blobs.
 inline double ReplayMeanNs(KvIndex* index, const std::vector<Operation>& ops,
                            obs::LatencyHistogram* hist = nullptr) {
-  Timer timer;
-  size_t misses = 0;
-  int64_t total_ns = 0;
-  for (const Operation& op : ops) {
-    if (hist != nullptr) timer.Reset();
-    switch (op.type) {
-      case OpType::kLookup: {
-        Value v;
-        misses += !index->Lookup(op.key, &v);
-        break;
-      }
-      case OpType::kInsert:
-        misses += !index->Insert(op.key, op.value);
-        break;
-      case OpType::kErase:
-        misses += !index->Erase(op.key);
-        break;
-    }
-    if (hist != nullptr) {
-      const int64_t ns = timer.ElapsedNanos();
-      hist->Record(ns);
-      total_ns += ns;
-    }
-  }
-  if (hist == nullptr) total_ns = timer.ElapsedNanos();
-  if (misses > 0) {
-    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n", misses,
-                 static_cast<int>(index->Name().size()),
-                 index->Name().data());
-  }
-  return ops.empty() ? 0.0
-                     : static_cast<double>(total_ns) /
-                           static_cast<double>(ops.size());
+  return Replay(index, ops, ReplayOptions{}, hist).MeanNs();
 }
 
 /// Mops/s for the same replay.
@@ -150,67 +170,16 @@ inline double ReplayThroughputMops(KvIndex* index,
 
 /// ReplayMeanNs variant that feeds maximal runs of consecutive kLookup
 /// operations through KvIndex::LookupBatch in groups of `batch` (inserts
-/// and erases still execute one at a time, in order). With batch <= 1 it
-/// defers to ReplayMeanNs, so the two timing modes are symmetric: the
-/// per-event clock cost (when `hist` is non-null) is paid once per batch
-/// here and once per op there, and the histogram records batch time /
-/// batch size. Lookup results are identical to the per-key path by the
-/// LookupBatch contract.
+/// and erases still execute one at a time, in order). Thin wrapper over
+/// the driver's batched single-threaded mode; see driver.h for the
+/// timing symmetry between the two modes.
 inline double ReplayMeanNsBatched(KvIndex* index,
                                   const std::vector<Operation>& ops,
                                   size_t batch,
                                   obs::LatencyHistogram* hist = nullptr) {
-  if (batch <= 1) return ReplayMeanNs(index, ops, hist);
-  Timer timer;
-  size_t misses = 0;
-  int64_t total_ns = 0;
-  std::vector<Key> keys(batch);
-  std::vector<Value> values(batch);
-  std::unique_ptr<bool[]> found(new bool[batch]);
-  size_t i = 0;
-  while (i < ops.size()) {
-    if (ops[i].type != OpType::kLookup) {
-      if (hist != nullptr) timer.Reset();
-      if (ops[i].type == OpType::kInsert) {
-        misses += !index->Insert(ops[i].key, ops[i].value);
-      } else {
-        misses += !index->Erase(ops[i].key);
-      }
-      if (hist != nullptr) {
-        const int64_t ns = timer.ElapsedNanos();
-        hist->Record(ns);
-        total_ns += ns;
-      }
-      ++i;
-      continue;
-    }
-    size_t n = 0;
-    while (n < batch && i + n < ops.size() &&
-           ops[i + n].type == OpType::kLookup) {
-      keys[n] = ops[i + n].key;
-      ++n;
-    }
-    if (hist != nullptr) timer.Reset();
-    index->LookupBatch(std::span<const Key>(keys.data(), n), values.data(),
-                       found.get());
-    if (hist != nullptr) {
-      const int64_t ns = timer.ElapsedNanos();
-      // One clock pair per batch; attribute the mean to each member.
-      for (size_t k = 0; k < n; ++k) hist->Record(ns / static_cast<int64_t>(n));
-      total_ns += ns;
-    }
-    for (size_t k = 0; k < n; ++k) misses += !found[k];
-    i += n;
-  }
-  if (hist == nullptr) total_ns = timer.ElapsedNanos();
-  if (misses > 0) {
-    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n", misses,
-                 static_cast<int>(index->Name().size()),
-                 index->Name().data());
-  }
-  return ops.empty() ? 0.0
-                     : static_cast<double>(total_ns) /
-                           static_cast<double>(ops.size());
+  ReplayOptions ro;
+  ro.batch = batch;
+  return Replay(index, ops, ro, hist).MeanNs();
 }
 
 inline double ToMiB(size_t bytes) {
@@ -251,6 +220,7 @@ inline std::string JsonEscape(std::string_view s) {
 ///
 ///   {
 ///     "bench": "...", "scale": N, "ops": N, "seed": N,
+///     "threads": N, "batch": N, "shards": N, "rthreads": N,
 ///     "throughput_mops": X,              // from the latency histogram
 ///     "latency_ns": {"count","mean","p50","p90","p99","p999","max"},
 ///     "rows": [ {bench-specific fields}, ... ],
@@ -319,10 +289,13 @@ class JsonReport {
                  "  \"ops\": %zu,\n"
                  "  \"seed\": %llu,\n"
                  "  \"threads\": %zu,\n"
-                 "  \"batch\": %zu,\n",
+                 "  \"batch\": %zu,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"rthreads\": %zu,\n",
                  JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
                  static_cast<unsigned long long>(opt_.seed),
-                 GlobalPool().num_threads(), opt_.batch);
+                 GlobalPool().num_threads(), opt_.batch, opt_.shards,
+                 opt_.rthreads);
     std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
                  mean > 0.0 ? 1e3 / mean : 0.0);
     std::fprintf(f,

@@ -1,5 +1,8 @@
 #include "src/api/index_factory.h"
 
+#include <cctype>
+#include <cstdlib>
+
 #include "src/baselines/alex/alex.h"
 #include "src/baselines/btree/btree.h"
 #include "src/baselines/dic/dic.h"
@@ -9,6 +12,7 @@
 #include "src/baselines/pgm/pgm.h"
 #include "src/baselines/radixspline/radix_spline.h"
 #include "src/core/chameleon_index.h"
+#include "src/engine/sharded_index.h"
 #include "src/obs/stats.h"
 
 namespace chameleon {
@@ -57,6 +61,24 @@ std::unique_ptr<KvIndex> MakeIndexImpl(std::string_view name) {
     ChameleonConfig config;
     config.mode = ChameleonMode::kFull;
     return std::make_unique<ChameleonIndex>(config);
+  }
+  // Engine-layer spec "Sharded<N>:<inner>" (e.g. "Sharded4:Chameleon"):
+  // route through the sharded serving engine so name-driven sweeps can
+  // exercise it like any other index.
+  constexpr std::string_view kShardedPrefix = "Sharded";
+  if (name.size() > kShardedPrefix.size() &&
+      name.substr(0, kShardedPrefix.size()) == kShardedPrefix &&
+      std::isdigit(static_cast<unsigned char>(name[kShardedPrefix.size()]))) {
+    size_t shards = 0;
+    size_t i = kShardedPrefix.size();
+    while (i < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[i]))) {
+      shards = shards * 10 + static_cast<size_t>(name[i] - '0');
+      ++i;
+    }
+    if (i < name.size() && name[i] == ':' && shards > 0) {
+      return MakeShardedIndex(name.substr(i + 1), shards);
+    }
   }
   return nullptr;
 }

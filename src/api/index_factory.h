@@ -19,7 +19,10 @@ std::vector<std::string> AllIndexNames();
 std::vector<std::string> UpdatableIndexNames();
 
 /// Creates an index by name with the default configuration used across
-/// the benchmarks; returns nullptr for unknown names.
+/// the benchmarks; returns nullptr for unknown names. Besides the plain
+/// names above, accepts the engine-layer spec "Sharded<N>:<inner>"
+/// (e.g. "Sharded4:Chameleon"), which wraps <inner> in the
+/// range-partitioned ShardedIndex adapter (src/engine/sharded_index.h).
 std::unique_ptr<KvIndex> MakeIndex(std::string_view name);
 
 }  // namespace chameleon

@@ -66,11 +66,30 @@ struct ChameleonConfig {
 /// non-blocking background retraining thread synchronized by Interval
 /// Locks on the h-th-level key intervals.
 ///
-/// Thread model (matching Sec. V): one workload thread issues
-/// queries/updates; one retraining thread may run concurrently. Lookups
-/// and RangeScans take the Query-Lock (shared) on the one interval they
-/// touch; the retrainer takes the Retraining-Lock (exclusive) on the one
-/// interval it rebuilds.
+/// Thread model (Sec. V, extended for the sharded serving engine): any
+/// number of *reader* threads may issue Lookup/LookupBatch/RangeScan
+/// concurrently with each other and with the retraining thread; at most
+/// one thread may issue Insert/Erase, and never concurrently with
+/// readers (foreground bookkeeping — size_, pending logs, leaf slots —
+/// is intentionally unsynchronized between foreground threads). Readers
+/// take the Query-Lock (shared) on the one interval they touch; the
+/// retrainer takes the Retraining-Lock (exclusive) on the one interval
+/// it rebuilds and swaps.
+///
+/// Why readers never observe a torn or stale subtree (the DESIGN.md §8
+/// publication argument, enforced by tests/concurrent_read_test.cc
+/// under TSan): the retrainer builds the replacement subtree entirely
+/// aside, then swaps it in while holding the Retraining-Lock and
+/// releases with a store(release) on the lock word. A reader's
+/// Query-Lock acquisition is an acquire CAS on the same word that can
+/// only succeed after that release store, so the CAS synchronizes-with
+/// the release and the fully-built subtree (and everything the builder
+/// wrote before the swap) is visible before the reader dereferences it.
+/// Conversely the retrainer's exclusive CAS only succeeds once every
+/// reader's release fetch_sub has drained the shared count, so it
+/// observes all reader-side effects before mutating. Stats()/SizeBytes()
+/// and serialization walk the tree unlocked and require quiescence
+/// (stop the retrainer or pause the workload first).
 class ChameleonIndex final : public KvIndex {
  public:
   ChameleonIndex();

@@ -70,6 +70,13 @@ class IntervalLock {
     if (spins > 0) CHAMELEON_STAT_ADD(kQueryLockSpins, spins);
   }
 
+  /// Release ordering publishes the reader's (or single writer's)
+  /// critical-section effects to the next exclusive acquirer: the
+  /// retrainer's acquire CAS in TryLockExclusive only succeeds once the
+  /// word has drained to 0, i.e. after reading the values written by
+  /// these fetch_subs, so it synchronizes-with every release in the RMW
+  /// chain and observes all foreground effects before mutating the
+  /// subtree.
   void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
 
   /// Retraining-Lock (exclusive): succeeds only when no query holds the
@@ -97,6 +104,11 @@ class IntervalLock {
     if (spins > 0) CHAMELEON_STAT_ADD(kRetrainLockSpins, spins);
   }
 
+  /// The release store is the publication point for a subtree swap:
+  /// every reader's subsequent acquire CAS in LockShared reads this 0
+  /// (or a value derived from it through the RMW chain), so the CAS
+  /// synchronizes-with the release and the fully-built replacement
+  /// subtree is visible before the reader dereferences any of it.
   void UnlockExclusive() {
     word_.store(0, std::memory_order_release);
   }

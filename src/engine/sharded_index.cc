@@ -1,0 +1,203 @@
+#include "src/engine/sharded_index.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/api/index_factory.h"
+#include "src/obs/stats.h"
+
+namespace chameleon {
+
+ShardedIndex::ShardedIndex(std::string_view inner_name, size_t shards) {
+  shards_.reserve(std::max<size_t>(1, shards));
+  for (size_t i = 0; i < std::max<size_t>(1, shards); ++i) {
+    shards_.push_back(MakeIndex(inner_name));
+  }
+  name_ = shards_.front() != nullptr
+              ? std::string(shards_.front()->Name())
+              : std::string(inner_name);
+  if (shards_.size() > 1) {
+    name_ += "/shards=" + std::to_string(shards_.size());
+  }
+}
+
+std::unique_ptr<KvIndex> MakeShardedIndex(std::string_view inner_name,
+                                          size_t shards) {
+  if (shards == 0) return nullptr;
+  auto index = std::make_unique<ShardedIndex>(inner_name, shards);
+  // An unknown inner name yields null shards; reject the hollow adapter
+  // here rather than crashing on first use.
+  return index->shard_valid() ? std::unique_ptr<KvIndex>(std::move(index))
+                              : nullptr;
+}
+
+size_t ShardedIndex::ShardFor(Key key) const {
+  if (lower_.empty()) return 0;
+  // lower_[i] (i >= 1) is the first key of shard i; the last boundary
+  // <= key wins. Keys below every boundary (including below the loaded
+  // minimum) route to shard 0, keys above the loaded maximum to the
+  // last shard, so inserts outside the bulk-load range stay routable.
+  return static_cast<size_t>(
+      std::upper_bound(lower_.begin() + 1, lower_.end(), key) -
+      lower_.begin() - 1);
+}
+
+void ShardedIndex::BulkLoad(std::span<const KeyValue> data) {
+  const size_t n_shards = shards_.size();
+  if (n_shards == 1) {
+    shards_[0]->BulkLoad(data);
+    return;
+  }
+
+  // Quantile boundaries: shard i owns data[i*n/N .. (i+1)*n/N). Using
+  // rank (not key-space) cut points keeps the initial shards balanced
+  // under arbitrary skew. With n < N the trailing shards stay empty
+  // (duplicate cut ranks produce empty slices and upper_bound routes
+  // past them consistently).
+  const size_t n = data.size();
+  std::vector<size_t> cut(n_shards + 1);
+  for (size_t i = 0; i <= n_shards; ++i) cut[i] = i * n / n_shards;
+  lower_.assign(n_shards, kMinKey);
+  for (size_t i = 1; i < n_shards; ++i) {
+    lower_[i] = cut[i] < n ? data[cut[i]].key : kMaxKey;
+  }
+
+  // Build shards in parallel, one dedicated thread per shard rather
+  // than a ParallelFor: the inner BulkLoads themselves issue
+  // ParallelFor fan-outs on the global pool (per-unit subtree builds,
+  // GA fitness scoring), and pool loops must not nest. Concurrent
+  // ParallelFor *calls* from distinct threads are supported, so each
+  // shard's heavy lifting still lands on the shared pool. Shard builds
+  // touch disjoint state and each is thread-count-deterministic, so the
+  // merged structure is too.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> builders;
+  builders.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    builders.emplace_back([&, i] {
+      try {
+        shards_[i]->BulkLoad(data.subspan(cut[i], cut[i + 1] - cut[i]));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : builders) t.join();
+  CHAMELEON_STAT_ADD(kShardBuilds, n_shards);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ShardedIndex::Lookup(Key key, Value* value) const {
+  return shards_[ShardFor(key)]->Lookup(key, value);
+}
+
+void ShardedIndex::LookupBatch(std::span<const Key> keys, Value* values,
+                               bool* found) const {
+  if (shards_.size() == 1) {
+    shards_[0]->LookupBatch(keys, values, found);
+    return;
+  }
+  // Scatter/gather: per-shard key groups preserve the caller's relative
+  // order, each shard probes its group through its own (possibly
+  // pipelined) LookupBatch, and hits are written back to the original
+  // positions. Miss positions are never written, preserving the
+  // "values[i] untouched on a miss" contract.
+  const size_t n_shards = shards_.size();
+  std::vector<std::vector<Key>> shard_keys(n_shards);
+  std::vector<std::vector<size_t>> shard_pos(n_shards);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t s = ShardFor(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_pos[s].push_back(i);
+  }
+  std::vector<Value> tmp_values;
+  std::unique_ptr<bool[]> tmp_found;
+  size_t tmp_cap = 0;
+  for (size_t s = 0; s < n_shards; ++s) {
+    const size_t m = shard_keys[s].size();
+    if (m == 0) continue;
+    if (m > tmp_cap) {
+      tmp_found.reset(new bool[m]);
+      tmp_cap = m;
+    }
+    tmp_values.assign(m, Value{});
+    shards_[s]->LookupBatch(
+        std::span<const Key>(shard_keys[s].data(), m), tmp_values.data(),
+        tmp_found.get());
+    for (size_t j = 0; j < m; ++j) {
+      const size_t pos = shard_pos[s][j];
+      found[pos] = tmp_found[j];
+      if (tmp_found[j]) values[pos] = tmp_values[j];
+    }
+  }
+}
+
+bool ShardedIndex::Insert(Key key, Value value) {
+  return shards_[ShardFor(key)]->Insert(key, value);
+}
+
+bool ShardedIndex::Erase(Key key) {
+  return shards_[ShardFor(key)]->Erase(key);
+}
+
+size_t ShardedIndex::RangeScan(Key lo, Key hi,
+                               std::vector<KeyValue>* out) const {
+  if (shards_.size() == 1) return shards_[0]->RangeScan(lo, hi, out);
+  // Shards partition the key space in ascending order, so appending
+  // per-shard results in shard order stitches a sorted scan. Only
+  // shards whose range intersects [lo, hi] are visited.
+  size_t count = 0;
+  const size_t first = ShardFor(lo);
+  const size_t last = ShardFor(hi);
+  for (size_t s = first; s <= last; ++s) {
+    count += shards_[s]->RangeScan(lo, hi, out);
+  }
+  return count;
+}
+
+size_t ShardedIndex::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+size_t ShardedIndex::SizeBytes() const {
+  if (shards_.size() == 1) return shards_[0]->SizeBytes();
+  size_t total = sizeof(ShardedIndex) +
+                 shards_.capacity() * sizeof(void*) +
+                 lower_.capacity() * sizeof(Key);
+  for (const auto& shard : shards_) total += shard->SizeBytes();
+  return total;
+}
+
+IndexStats ShardedIndex::Stats() const {
+  if (shards_.size() == 1) return shards_[0]->Stats();
+  IndexStats merged;
+  double weighted_height = 0.0;
+  double weighted_error = 0.0;
+  size_t keys = 0;
+  for (const auto& shard : shards_) {
+    const IndexStats s = shard->Stats();
+    const size_t k = shard->size();
+    merged.max_height = std::max(merged.max_height, s.max_height);
+    merged.max_error = std::max(merged.max_error, s.max_error);
+    merged.num_nodes += s.num_nodes;
+    weighted_height += s.avg_height * static_cast<double>(k);
+    weighted_error += s.avg_error * static_cast<double>(k);
+    keys += k;
+  }
+  merged.avg_height =
+      keys > 0 ? weighted_height / static_cast<double>(keys)
+               : static_cast<double>(merged.max_height);
+  merged.avg_error = keys > 0 ? weighted_error / static_cast<double>(keys)
+                              : 0.0;
+  return merged;
+}
+
+std::string_view ShardedIndex::Name() const { return name_; }
+
+}  // namespace chameleon

@@ -1,0 +1,94 @@
+#ifndef CHAMELEON_ENGINE_SHARDED_INDEX_H_
+#define CHAMELEON_ENGINE_SHARDED_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// Serving-engine layer: a KvIndex adapter that range-partitions the key
+/// space across N inner indexes (the "shards"), each built by the
+/// existing factory. Shard boundaries are the bulk-load key quantiles
+/// (shard i owns data[i*n/N .. (i+1)*n/N)), so shards start out balanced
+/// regardless of the key distribution; routing is one branchless
+/// upper_bound over the N-1 boundary keys, after which every operation
+/// is delegated to exactly one inner index. Cross-shard RangeScans
+/// stitch per-shard results in shard order (shards partition the key
+/// space in order, so the concatenation is already sorted).
+///
+/// With shards == 1 every call is a direct pass-through to the single
+/// inner index — bit-identical results, Stats() and SizeBytes() — so a
+/// sharded deployment can always be collapsed for apples-to-apples
+/// comparison against the historical single-index baselines.
+///
+/// Thread model: BulkLoad builds shards in parallel (each shard build
+/// fans its heavy work out on the global ThreadPool; see the .cc).
+/// After the build, the adapter adds no synchronization of its own:
+/// concurrent *readers* are safe whenever the inner index's read path
+/// is (routing state is immutable after BulkLoad), and writes follow
+/// the inner index's single-writer model. Operations on different
+/// shards never share mutable adapter state, so a driver that partitions
+/// writers by key range gets shard-level write parallelism for free.
+class ShardedIndex final : public KvIndex {
+ public:
+  /// Creates `shards` inner indexes named `inner_name` via MakeIndex.
+  /// Prefer MakeShardedIndex (below), which returns nullptr on unknown
+  /// names instead of constructing a hollow adapter.
+  ShardedIndex(std::string_view inner_name, size_t shards);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  /// Scatter/gather batched lookup: keys are grouped per shard (stable
+  /// within each group) so each inner LookupBatch keeps its pipelining
+  /// window, then hits are scattered back to the caller's positions.
+  /// Misses leave values[i] untouched, exactly like Lookup.
+  void LookupBatch(std::span<const Key> keys, Value* values,
+                   bool* found) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override;
+  size_t SizeBytes() const override;
+  /// Merged statistics: num_nodes sums, max_height/max_error take the
+  /// worst shard, avg_height/avg_error are key-count-weighted means —
+  /// the same weighting each index applies across its own leaves.
+  IndexStats Stats() const override;
+  std::string_view Name() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  const KvIndex& shard(size_t i) const { return *shards_[i]; }
+  KvIndex& shard(size_t i) { return *shards_[i]; }
+  /// False when the inner name was unknown to the factory (the shards
+  /// are null and the adapter must not be used).
+  bool shard_valid() const { return shards_.front() != nullptr; }
+
+  /// Index of the shard owning `key` (exposed for tests and for drivers
+  /// that partition an operation stream by shard).
+  size_t ShardFor(Key key) const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<KvIndex>> shards_;
+  /// lower_[i] is the smallest key routed to shard i (i >= 1; shard 0
+  /// takes everything below lower_[1]). Set from the bulk-load
+  /// quantiles; immutable afterwards, so lock-free routing is safe under
+  /// any reader concurrency. Empty until BulkLoad with shards > 1.
+  std::vector<Key> lower_;
+};
+
+/// Factory entry point for the engine layer: "inner_name" sharded
+/// `shards` ways. Returns nullptr when the inner name is unknown or
+/// shards == 0. MakeIndex also accepts the spelled-out spec
+/// "Sharded<N>:<inner>" (e.g. "Sharded4:Chameleon") so name-driven
+/// sweeps (benches, conformance suite) can route through the engine.
+std::unique_ptr<KvIndex> MakeShardedIndex(std::string_view inner_name,
+                                          size_t shards);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_ENGINE_SHARDED_INDEX_H_

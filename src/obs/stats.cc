@@ -23,6 +23,7 @@ std::string_view CounterName(Counter c) {
     case Counter::kRetrainLockSpins: return "retrain_lock_spins";
     case Counter::kIndexesCreated: return "indexes_created";
     case Counter::kEbhErases: return "ebh_erases";
+    case Counter::kShardBuilds: return "shard_builds";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -44,6 +44,8 @@ enum class Counter : uint32_t {
   // EBH slot-level erases (appended after kIndexesCreated so existing
   // JSON snapshots stay diffable; see the catalog note above).
   kEbhErases,
+  // Engine layer: inner-index builds issued by ShardedIndex::BulkLoad.
+  kShardBuilds,
 
   kCount,  // sentinel — keep last
 };

@@ -1,0 +1,175 @@
+#include "src/workload/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace chameleon {
+namespace {
+
+/// Per-thread accumulation for one replayed chunk.
+struct ChunkResult {
+  size_t misses = 0;
+  int64_t busy_ns = 0;
+};
+
+/// The per-key replay kernel — the loop bench_util's ReplayMeanNs ran
+/// for every harness before the driver existed; kept op-for-op
+/// identical so R = 1 numbers stay comparable across PRs.
+ChunkResult ReplayChunk(KvIndex* index, std::span<const Operation> ops,
+                        obs::LatencyHistogram* hist) {
+  ChunkResult result;
+  Timer timer;
+  for (const Operation& op : ops) {
+    if (hist != nullptr) timer.Reset();
+    switch (op.type) {
+      case OpType::kLookup: {
+        Value v;
+        result.misses += !index->Lookup(op.key, &v);
+        break;
+      }
+      case OpType::kInsert:
+        result.misses += !index->Insert(op.key, op.value);
+        break;
+      case OpType::kErase:
+        result.misses += !index->Erase(op.key);
+        break;
+    }
+    if (hist != nullptr) {
+      const int64_t ns = timer.ElapsedNanos();
+      hist->Record(ns);
+      result.busy_ns += ns;
+    }
+  }
+  if (hist == nullptr) result.busy_ns = timer.ElapsedNanos();
+  return result;
+}
+
+/// The batched replay kernel (bench_util's ReplayMeanNsBatched loop):
+/// maximal runs of consecutive lookups go through LookupBatch in groups
+/// of `batch`; writes execute one at a time, in order. Per-batch timing
+/// keeps batch = 1 symmetric with the per-op kernel (one clock pair per
+/// timed event either way), and the histogram records batch time /
+/// batch size for each member.
+ChunkResult ReplayChunkBatched(KvIndex* index, std::span<const Operation> ops,
+                               size_t batch, obs::LatencyHistogram* hist) {
+  ChunkResult result;
+  Timer timer;
+  std::vector<Key> keys(batch);
+  std::vector<Value> values(batch);
+  std::unique_ptr<bool[]> found(new bool[batch]);
+  size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].type != OpType::kLookup) {
+      if (hist != nullptr) timer.Reset();
+      if (ops[i].type == OpType::kInsert) {
+        result.misses += !index->Insert(ops[i].key, ops[i].value);
+      } else {
+        result.misses += !index->Erase(ops[i].key);
+      }
+      if (hist != nullptr) {
+        const int64_t ns = timer.ElapsedNanos();
+        hist->Record(ns);
+        result.busy_ns += ns;
+      }
+      ++i;
+      continue;
+    }
+    size_t n = 0;
+    while (n < batch && i + n < ops.size() &&
+           ops[i + n].type == OpType::kLookup) {
+      keys[n] = ops[i + n].key;
+      ++n;
+    }
+    if (hist != nullptr) timer.Reset();
+    index->LookupBatch(std::span<const Key>(keys.data(), n), values.data(),
+                       found.get());
+    if (hist != nullptr) {
+      const int64_t ns = timer.ElapsedNanos();
+      // One clock pair per batch; attribute the mean to each member.
+      for (size_t k = 0; k < n; ++k) {
+        hist->Record(ns / static_cast<int64_t>(n));
+      }
+      result.busy_ns += ns;
+    }
+    for (size_t k = 0; k < n; ++k) result.misses += !found[k];
+    i += n;
+  }
+  if (hist == nullptr) result.busy_ns = timer.ElapsedNanos();
+  return result;
+}
+
+ChunkResult ReplayDispatch(KvIndex* index, std::span<const Operation> ops,
+                           size_t batch, obs::LatencyHistogram* hist) {
+  return batch <= 1 ? ReplayChunk(index, ops, hist)
+                    : ReplayChunkBatched(index, ops, batch, hist);
+}
+
+}  // namespace
+
+ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
+                    const ReplayOptions& options,
+                    obs::LatencyHistogram* hist) {
+  const size_t batch = std::max<size_t>(1, options.batch);
+  const size_t warmup = std::min(options.warmup, ops.size());
+  if (warmup > 0) {
+    // Applied but never measured: no histogram, no miss accounting.
+    ReplayDispatch(index, ops.subspan(0, warmup), batch, nullptr);
+  }
+  const std::span<const Operation> measured = ops.subspan(warmup);
+
+  ReplayResult result;
+  result.ops = measured.size();
+
+  const size_t threads =
+      std::max<size_t>(1, std::min(options.threads, std::max<size_t>(
+                                                        1, measured.size())));
+  if (threads == 1) {
+    // Single-threaded fast path: record straight into the caller's
+    // histogram; busy and wall time coincide in hist == nullptr mode
+    // (exactly the historical ReplayMeanNs behavior).
+    Timer wall;
+    const ChunkResult chunk = ReplayDispatch(index, measured, batch, hist);
+    result.wall_ns = wall.ElapsedNanos();
+    result.misses = chunk.misses;
+    result.busy_ns = chunk.busy_ns;
+  } else {
+    // Contiguous chunk per thread: boundaries depend only on
+    // (size, threads), so which thread replays which ops is
+    // deterministic. Per-thread histograms avoid cross-thread
+    // contention on hot buckets and are merged exactly at the end.
+    std::vector<ChunkResult> chunks(threads);
+    std::vector<obs::LatencyHistogram> hists(hist != nullptr ? threads : 0);
+    Timer wall;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t begin = t * measured.size() / threads;
+      const size_t end = (t + 1) * measured.size() / threads;
+      workers.emplace_back([&, t, begin, end] {
+        chunks[t] = ReplayDispatch(index, measured.subspan(begin, end - begin),
+                                   batch, hist != nullptr ? &hists[t] : nullptr);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    result.wall_ns = wall.ElapsedNanos();
+    for (size_t t = 0; t < threads; ++t) {
+      result.misses += chunks[t].misses;
+      result.busy_ns += chunks[t].busy_ns;
+      if (hist != nullptr) hist->Merge(hists[t]);
+    }
+  }
+
+  if (result.misses > 0) {
+    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n",
+                 result.misses, static_cast<int>(index->Name().size()),
+                 index->Name().data());
+  }
+  return result;
+}
+
+}  // namespace chameleon

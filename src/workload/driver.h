@@ -1,0 +1,81 @@
+#ifndef CHAMELEON_WORKLOAD_DRIVER_H_
+#define CHAMELEON_WORKLOAD_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/api/kv_index.h"
+#include "src/obs/latency_histogram.h"
+#include "src/workload/workload.h"
+
+namespace chameleon {
+
+/// Options for the closed-loop replay driver.
+struct ReplayOptions {
+  /// Foreground replay threads R. The operation stream is partitioned
+  /// into R contiguous chunks replayed concurrently, each thread
+  /// recording into its own LatencyHistogram (merged into the caller's
+  /// at the end). R = 1 runs the exact single-threaded replay loops the
+  /// bench harnesses have always used, so historical BENCH numbers stay
+  /// comparable.
+  ///
+  /// Concurrency contract: the driver adds no synchronization around the
+  /// index. R > 1 is valid for read-only streams against any index whose
+  /// Lookup path tolerates concurrent readers (all indexes here:
+  /// lookups are const; ChameleonIndex additionally takes Query-Locks
+  /// while its retrainer is live). Streams containing writes follow the
+  /// single-writer model of the underlying indexes and must use R = 1.
+  size_t threads = 1;
+  /// Lookup batching: maximal runs of consecutive kLookup ops are fed
+  /// through KvIndex::LookupBatch in groups of `batch` (1 = per-key
+  /// Lookup). Writes always execute one at a time, in stream order.
+  size_t batch = 1;
+  /// Leading operations replayed before measurement starts: they are
+  /// applied to the index (warming caches and populating keys the rest
+  /// of the stream depends on) but excluded from all timing, histogram,
+  /// and miss accounting. Clamped to the stream length.
+  size_t warmup = 0;
+};
+
+/// Result of one replay. busy_ns sums each thread's replay time (so
+/// MeanNs() is the per-operation cost a client observes), while wall_ns
+/// is the elapsed time of the whole measured replay (so ThroughputMops()
+/// reflects the aggregate rate R threads actually achieved).
+struct ReplayResult {
+  size_t ops = 0;     // measured operations (warmup excluded)
+  size_t misses = 0;  // failed lookups/inserts/erases
+  int64_t busy_ns = 0;
+  int64_t wall_ns = 0;
+
+  double MeanNs() const {
+    return ops > 0 ? static_cast<double>(busy_ns) / static_cast<double>(ops)
+                   : 0.0;
+  }
+  double ThroughputMops() const {
+    return wall_ns > 0 ? static_cast<double>(ops) * 1e3 /
+                             static_cast<double>(wall_ns)
+                       : 0.0;
+  }
+};
+
+/// Replays `ops` against `index` on `options.threads` closed-loop
+/// threads and returns the merged result. Lookups of absent keys,
+/// duplicate inserts, and erases of absent keys count as misses (a
+/// warning is printed when any occur — the workload generators emit
+/// only valid streams, so misses indicate a broken index).
+///
+/// With `hist` non-null every operation is timed individually into the
+/// histogram (per-batch for batched lookups, attributing the mean to
+/// each member); with hist == nullptr each thread's whole chunk is
+/// timed with two clock reads. In the R = 1 / warmup = 0 configuration
+/// both modes reproduce bench_util's historical ReplayMeanNs /
+/// ReplayMeanNsBatched numbers exactly — those helpers are now thin
+/// wrappers over this function.
+ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
+                    const ReplayOptions& options,
+                    obs::LatencyHistogram* hist = nullptr);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_WORKLOAD_DRIVER_H_
