@@ -14,6 +14,7 @@
 #include "src/core/chameleon_index.h"
 #include "src/engine/sharded_index.h"
 #include "src/obs/stats.h"
+#include "src/storage/durable_index.h"
 
 namespace chameleon {
 namespace {
@@ -78,6 +79,19 @@ std::unique_ptr<KvIndex> MakeIndexImpl(std::string_view name) {
     }
     if (i < name.size() && name[i] == ':' && shards > 0) {
       return MakeShardedIndex(name.substr(i + 1), shards);
+    }
+  }
+  // Storage-layer spec "Durable(<dir>):<inner>" (e.g.
+  // "Durable(/tmp/d):Sharded4:Chameleon"): wrap the inner spec in the
+  // WAL + snapshot durability adapter rooted at <dir>.
+  constexpr std::string_view kDurablePrefix = "Durable(";
+  if (name.size() > kDurablePrefix.size() &&
+      name.substr(0, kDurablePrefix.size()) == kDurablePrefix) {
+    const size_t close = name.find("):", kDurablePrefix.size());
+    if (close != std::string_view::npos) {
+      std::string dir(name.substr(kDurablePrefix.size(),
+                                  close - kDurablePrefix.size()));
+      return MakeDurableIndex(name.substr(close + 2), std::move(dir));
     }
   }
   return nullptr;

@@ -594,10 +594,30 @@ void ChameleonIndex::RetrainerLoop(std::chrono::milliseconds interval) {
                                [this] { return retrainer_stop_; })) {
       break;
     }
+    // A pause hold (SaveTo draining the thread) skips this period; the
+    // pass runs again once the save releases its hold.
+    if (retrainer_pause_count_ > 0) continue;
+    retrain_pass_active_ = true;
     lock.unlock();
     RetrainOnce();
     lock.lock();
+    retrain_pass_active_ = false;
+    retrainer_cv_.notify_all();
   }
+}
+
+void ChameleonIndex::PauseRetrainerForSave() const {
+  std::unique_lock<std::mutex> lock(retrainer_mu_);
+  ++retrainer_pause_count_;
+  retrainer_cv_.wait(lock, [this] { return !retrain_pass_active_; });
+}
+
+void ChameleonIndex::ResumeRetrainerAfterSave() const {
+  {
+    std::lock_guard<std::mutex> lock(retrainer_mu_);
+    --retrainer_pause_count_;
+  }
+  retrainer_cv_.notify_all();
 }
 
 void ChameleonIndex::StartRetrainer(std::chrono::milliseconds interval) {

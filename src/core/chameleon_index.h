@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <condition_variable>
 #include <memory>
@@ -150,11 +151,17 @@ class ChameleonIndex final : public KvIndex {
   /// retraining pass weights fanout decisions by this traffic.
   void SetQuerySample(std::vector<Key> query_keys);
 
-  /// Persists the built structure (see core/serialize.h). The retraining
-  /// thread must be stopped. Returns false on I/O error.
+  /// Persists the built structure (see core/serialize.h). Safe with a
+  /// live retraining thread: the save pauses it and drains any in-flight
+  /// pass first (foreground writers must still be quiesced by the
+  /// caller). Returns false on I/O error.
   bool SaveTo(const std::string& path) const;
+  /// Streaming form: writes the structure at `f`'s current position
+  /// (the storage layer embeds it inside checksummed snapshot files).
+  bool SaveTo(std::FILE* f) const;
   /// Restores a structure written by SaveTo, replacing the current one.
   bool LoadFrom(const std::string& path);
+  bool LoadFrom(std::FILE* f);
 
   /// Number of frame levels h = ceil(log_{2^10} |D|), clamped to >= 2
   /// (Sec. III-B); the level whose nodes carry interval locks.
@@ -255,6 +262,15 @@ class ChameleonIndex final : public KvIndex {
                         std::vector<DeferredLeaf>* deferred);
   Unit* FindUnit(Key key) const;
   void RetrainerLoop(std::chrono::milliseconds interval);
+  /// SaveTo's guard (core/serialize.cc): blocks new retrainer-thread
+  /// passes and waits out the in-flight one, so the save never races a
+  /// subtree swap. const (with mutable thread state) because saving is
+  /// logically read-only. Callers pair it with ResumeRetrainerAfterSave.
+  void PauseRetrainerForSave() const;
+  void ResumeRetrainerAfterSave() const;
+  /// The actual structure writer (core/serialize.cc); callers hold the
+  /// retrainer pause when one is live.
+  bool SaveToLocked(std::FILE* f) const;
   /// Triggers the Sec.-V full reconstruction when the cumulative update
   /// volume crosses the threshold (single-threaded mode only).
   void MaybeFullReconstruct();
@@ -278,11 +294,16 @@ class ChameleonIndex final : public KvIndex {
   // single-threaded operation pays no atomic RMWs on the query path.
   std::atomic<bool> retrainer_enabled_{false};
 
-  // Retrainer thread state.
+  // Retrainer thread state. mutable: const SaveTo pauses/drains the
+  // retrainer through the same mutex/cv (see PauseRetrainerForSave).
   std::thread retrainer_;
-  std::mutex retrainer_mu_;
-  std::condition_variable retrainer_cv_;
+  mutable std::mutex retrainer_mu_;
+  mutable std::condition_variable retrainer_cv_;
   bool retrainer_stop_ = false;
+  // Guarded by retrainer_mu_: true while the retrainer thread is inside
+  // RetrainOnce; > 0 pause holds (SaveTo) block new passes.
+  mutable bool retrain_pass_active_ = false;
+  mutable size_t retrainer_pause_count_ = 0;
 };
 
 }  // namespace chameleon

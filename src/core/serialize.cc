@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/stats.h"
+
 namespace chameleon {
 namespace {
 
@@ -60,8 +62,28 @@ bool LoadIndex(ChameleonIndex* index, const std::string& path) {
 bool ChameleonIndex::SaveTo(const std::string& path) const {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
-  std::FILE* fp = f.get();
+  return SaveTo(f.get());
+}
 
+bool ChameleonIndex::SaveTo(std::FILE* fp) const {
+  // Guard against the documented footgun: the structure walk below is
+  // unlocked, so a live retraining thread swapping a subtree mid-save
+  // would tear the stream. Pause it (draining any in-flight pass) for
+  // the duration; a stopped retrainer makes this a no-op. Foreground
+  // writers remain the caller's responsibility (DurableIndex holds its
+  // write mutex around checkpoints).
+  const bool retrainer_live =
+      retrainer_enabled_.load(std::memory_order_acquire);
+  if (retrainer_live) {
+    PauseRetrainerForSave();
+    CHAMELEON_STAT_INC(kSaveRetrainerPauses);
+  }
+  const bool ok = SaveToLocked(fp);
+  if (retrainer_live) ResumeRetrainerAfterSave();
+  return ok;
+}
+
+bool ChameleonIndex::SaveToLocked(std::FILE* fp) const {
   bool ok = WriteVal(fp, kMagic) && WriteVal(fp, kVersion) &&
             WriteVal(fp, config_.tau) && WriteVal(fp, config_.alpha) &&
             WriteVal(fp, static_cast<uint32_t>(h_)) && WriteVal(fp, mk_) &&
@@ -130,8 +152,10 @@ bool ChameleonIndex::SaveTo(const std::string& path) const {
 bool ChameleonIndex::LoadFrom(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) return false;
-  std::FILE* fp = f.get();
+  return LoadFrom(f.get());
+}
 
+bool ChameleonIndex::LoadFrom(std::FILE* fp) {
   uint32_t magic = 0, version = 0;
   if (!ReadVal(fp, &magic) || !ReadVal(fp, &version) || magic != kMagic ||
       version != kVersion) {

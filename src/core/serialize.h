@@ -12,7 +12,10 @@ namespace chameleon {
 /// each leaf's adapted hash factor) — so reloading skips the RL
 /// construction entirely. Binary little-endian format, versioned.
 ///
-/// The retraining thread must be stopped while saving.
+/// Safe with a live retraining thread: the save pauses it and drains
+/// any in-flight pass before walking the structure (each pause bumps
+/// the save_retrainer_pauses counter). Foreground writers must still be
+/// quiesced by the caller — the walk takes no Interval Locks.
 bool SaveIndex(const ChameleonIndex& index, const std::string& path);
 
 /// Restores an index previously written by SaveIndex into `*index`

@@ -24,6 +24,13 @@ std::string_view CounterName(Counter c) {
     case Counter::kIndexesCreated: return "indexes_created";
     case Counter::kEbhErases: return "ebh_erases";
     case Counter::kShardBuilds: return "shard_builds";
+    case Counter::kWalAppends: return "wal_appends";
+    case Counter::kWalFsyncs: return "wal_fsyncs";
+    case Counter::kWalBytes: return "wal_bytes";
+    case Counter::kWalReplayedRecords: return "wal_replayed_records";
+    case Counter::kCheckpoints: return "checkpoints";
+    case Counter::kRecoveries: return "recoveries";
+    case Counter::kSaveRetrainerPauses: return "save_retrainer_pauses";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -46,6 +46,18 @@ enum class Counter : uint32_t {
   kEbhErases,
   // Engine layer: inner-index builds issued by ShardedIndex::BulkLoad.
   kShardBuilds,
+  // Storage layer (src/storage/): write-ahead-log traffic, checkpoint
+  // and recovery events. Appended after kShardBuilds per the catalog
+  // note above.
+  kWalAppends,
+  kWalFsyncs,
+  kWalBytes,
+  kWalReplayedRecords,
+  kCheckpoints,
+  kRecoveries,
+  // Times ChameleonIndex::SaveTo found a live retraining thread and had
+  // to pause/drain it before walking the structure.
+  kSaveRetrainerPauses,
 
   kCount,  // sentinel — keep last
 };

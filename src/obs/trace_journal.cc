@@ -13,6 +13,8 @@ std::string_view TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kRetrainDenied: return "retrain_denied";
     case TraceEventType::kFullRebuild: return "full_rebuild";
     case TraceEventType::kLeafExpansion: return "leaf_expansion";
+    case TraceEventType::kCheckpoint: return "checkpoint";
+    case TraceEventType::kRecovery: return "recovery";
   }
   return "unknown";
 }

@@ -26,6 +26,12 @@ enum class TraceEventType : uint32_t {
   kFullRebuild,
   /// An EBH leaf expanded its slot array; a = old capacity, b = new.
   kLeafExpansion,
+  /// DurableIndex wrote a checkpoint; a = live keys snapshotted,
+  /// b = WAL segments truncated as obsolete.
+  kCheckpoint,
+  /// DurableIndex recovered from snapshot + WAL; a = WAL records
+  /// replayed, b = recovery duration in microseconds.
+  kRecovery,
 };
 
 std::string_view TraceEventTypeName(TraceEventType type);

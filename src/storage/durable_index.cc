@@ -1,0 +1,231 @@
+#include "src/storage/durable_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/api/index_factory.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace_journal.h"
+#include "src/util/timer.h"
+
+namespace chameleon {
+namespace {
+
+// WAL record types. Payloads are raw little-endian key/value words.
+constexpr uint8_t kRecInsert = 1;  // [key u64][value u64]
+constexpr uint8_t kRecErase = 2;   // [key u64]
+
+}  // namespace
+
+DurableIndex::DurableIndex(std::unique_ptr<KvIndex> inner, std::string dir,
+                           DurableOptions options)
+    : inner_(std::move(inner)),
+      dir_(std::move(dir)),
+      name_("Durable:"),
+      options_(options),
+      wal_(dir_, options.wal) {
+  name_ += inner_->Name();
+}
+
+DurableIndex::~DurableIndex() {
+  StopCheckpointer();
+  wal_.Close();
+}
+
+std::string DurableIndex::SnapshotPath(uint64_t wal_seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap-%06llu.snap",
+                static_cast<unsigned long long>(wal_seq));
+  return dir_ + "/" + name;
+}
+
+std::vector<uint64_t> DurableIndex::ListSnapshots() const {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "snap-%llu.snap", &seq) == 1) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+void DurableIndex::BulkLoad(std::span<const KeyValue> data) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // A bulk load starts a new durable lifetime: stale segments and
+  // snapshots in the directory (from a previous run or test fixture)
+  // must not leak into a later recovery.
+  wal_.Close();
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".wal") || name.ends_with(".snap") ||
+        name.ends_with(".tmp")) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  inner_->BulkLoad(data);
+  if (!wal_.Open()) {
+    std::fprintf(stderr, "WARNING: DurableIndex(%s): cannot open WAL\n",
+                 dir_.c_str());
+    return;
+  }
+  // Initial snapshot: the durable baseline every recovery starts from.
+  if (!WriteSnapshot(*inner_, SnapshotPath(wal_.current_seq()),
+                     wal_.current_seq())) {
+    std::fprintf(stderr,
+                 "WARNING: DurableIndex(%s): cannot write initial snapshot\n",
+                 dir_.c_str());
+  }
+  wal_bytes_at_checkpoint_ = wal_.appended_bytes();
+}
+
+bool DurableIndex::Insert(Key key, Value value) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint8_t payload[16];
+  std::memcpy(payload, &key, 8);
+  std::memcpy(payload + 8, &value, 8);
+  // Log before apply: a failed append (I/O or fsync fault) leaves the
+  // op unacknowledged and unapplied.
+  if (!wal_.Append(kRecInsert, payload, sizeof(payload))) return false;
+  return inner_->Insert(key, value);
+}
+
+bool DurableIndex::Erase(Key key) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint8_t payload[8];
+  std::memcpy(payload, &key, 8);
+  if (!wal_.Append(kRecErase, payload, sizeof(payload))) return false;
+  return inner_->Erase(key);
+}
+
+bool DurableIndex::Recover() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Timer timer;
+  // Newest valid snapshot wins; older ones only exist if a crash hit
+  // between a checkpoint's snapshot write and its cleanup.
+  SnapshotMeta meta;
+  bool loaded = false;
+  for (uint64_t seq : ListSnapshots()) {
+    if (ReadSnapshot(inner_.get(), SnapshotPath(seq), &meta)) {
+      loaded = true;
+      break;
+    }
+  }
+  if (!loaded) return false;
+
+  size_t replayed = 0;
+  const Wal::ReplayStatus status = wal_.Replay(
+      meta.wal_seq,
+      [this](uint8_t type, std::span<const uint8_t> payload) {
+        Key key = 0;
+        if (type == kRecInsert && payload.size() == 16) {
+          Value value = 0;
+          std::memcpy(&key, payload.data(), 8);
+          std::memcpy(&value, payload.data() + 8, 8);
+          inner_->Insert(key, value);
+        } else if (type == kRecErase && payload.size() == 8) {
+          std::memcpy(&key, payload.data(), 8);
+          inner_->Erase(key);
+        }
+      },
+      &replayed);
+  if (status != Wal::ReplayStatus::kOk) return false;
+  if (!wal_.Open()) return false;
+
+  last_recovery_replayed_ = replayed;
+  last_recovery_ms_ = timer.ElapsedMillis();
+  wal_bytes_at_checkpoint_ = wal_.appended_bytes();
+  CHAMELEON_STAT_INC(kRecoveries);
+  CHAMELEON_TRACE(kRecovery, replayed,
+                  static_cast<uint64_t>(last_recovery_ms_ * 1000.0));
+  return true;
+}
+
+bool DurableIndex::CheckpointLocked() {
+  if (!wal_.is_open()) return false;
+  // Rotate first so the snapshot boundary is a segment boundary: the
+  // snapshot covers every record in segments < boundary, and recovery
+  // replays segments >= boundary.
+  if (!wal_.Rotate()) return false;
+  const uint64_t boundary = wal_.current_seq();
+  if (!WriteSnapshot(*inner_, SnapshotPath(boundary), boundary)) {
+    return false;
+  }
+  const size_t truncated = wal_.TruncateBefore(boundary);
+  // The new snapshot supersedes all older ones.
+  std::error_code ec;
+  for (uint64_t seq : ListSnapshots()) {
+    if (seq < boundary) std::filesystem::remove(SnapshotPath(seq), ec);
+  }
+  wal_bytes_at_checkpoint_ = wal_.appended_bytes();
+  CHAMELEON_STAT_INC(kCheckpoints);
+  CHAMELEON_TRACE(kCheckpoint, inner_->size(), truncated);
+  return true;
+}
+
+bool DurableIndex::Checkpoint() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return CheckpointLocked();
+}
+
+void DurableIndex::CheckpointerLoop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(checkpointer_mu_);
+  while (!checkpointer_stop_) {
+    if (checkpointer_cv_.wait_for(lock, interval,
+                                  [this] { return checkpointer_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      const uint64_t grown = wal_.appended_bytes() - wal_bytes_at_checkpoint_;
+      if (grown > 0 && grown >= options_.checkpoint_wal_bytes) {
+        CheckpointLocked();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void DurableIndex::StartCheckpointer(std::chrono::milliseconds interval) {
+  StopCheckpointer();
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_mu_);
+    checkpointer_stop_ = false;
+  }
+  checkpointer_ = std::thread([this, interval] { CheckpointerLoop(interval); });
+}
+
+void DurableIndex::StopCheckpointer() {
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_mu_);
+    checkpointer_stop_ = true;
+  }
+  checkpointer_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+void DurableIndex::SimulateCrash() {
+  StopCheckpointer();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  wal_.SimulateCrash();
+}
+
+std::unique_ptr<KvIndex> MakeDurableIndex(std::string_view inner_spec,
+                                          std::string dir,
+                                          DurableOptions options) {
+  if (dir.empty()) return nullptr;
+  std::unique_ptr<KvIndex> inner = MakeIndex(inner_spec);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<DurableIndex>(std::move(inner), std::move(dir),
+                                        options);
+}
+
+}  // namespace chameleon

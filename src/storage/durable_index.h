@@ -1,0 +1,156 @@
+#ifndef CHAMELEON_STORAGE_DURABLE_INDEX_H_
+#define CHAMELEON_STORAGE_DURABLE_INDEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/api/kv_index.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/wal.h"
+
+namespace chameleon {
+
+struct DurableOptions {
+  WalOptions wal;
+  /// The background checkpointer only snapshots when at least this many
+  /// WAL bytes accumulated since the last checkpoint (0 = every tick
+  /// with any new records at all).
+  size_t checkpoint_wal_bytes = 1u << 20;
+};
+
+/// Durability adapter: wraps any KvIndex with a write-ahead log and
+/// snapshot checkpointing so a crash loses no acknowledged write and a
+/// ChameleonIndex restart skips the RL construction entirely.
+///
+/// Write path: Insert/Erase append a checksummed WAL record (fsynced
+/// per FsyncPolicy) *before* applying the operation to the inner index
+/// — an acknowledged op is always recoverable. Rejected ops (duplicate
+/// insert, absent erase) are still logged; replay re-applies them and
+/// the inner index rejects them identically, so recovery is
+/// deterministic. Reads delegate untouched — the adapter adds zero
+/// overhead to Lookup/LookupBatch/RangeScan.
+///
+/// Recovery: `Recover()` loads the newest valid snapshot in the
+/// directory, replays every WAL segment the snapshot does not cover,
+/// and reopens the log on a fresh segment (never appending into a
+/// possibly-torn tail). Mid-log corruption fails recovery (see
+/// wal.h); a torn final record is discarded — it can only be an
+/// unacknowledged op under FsyncPolicy::kAlways.
+///
+/// Checkpointing: `Checkpoint()` rotates the WAL (so the snapshot
+/// boundary is a segment boundary), writes the snapshot atomically
+/// (temp + rename), deletes obsolete WAL segments and older snapshots.
+/// `StartCheckpointer` runs it periodically on a background thread.
+///
+/// Thread model: same single-writer contract as the inner indexes —
+/// at most one thread in Insert/Erase/BulkLoad. The checkpointer
+/// serializes against that writer with a mutex (writes stall for the
+/// snapshot write; readers are never blocked), and the Chameleon
+/// native save path pauses/drains the retraining thread internally
+/// (core/serialize.h), so `Durable` composes with a live retrainer and
+/// with `Sharded<N>` inners.
+class DurableIndex final : public KvIndex {
+ public:
+  /// `dir` is this index's private durability directory (created if
+  /// missing; BulkLoad wipes stale wal/snapshot files inside it).
+  DurableIndex(std::unique_ptr<KvIndex> inner, std::string dir,
+               DurableOptions options = {});
+  ~DurableIndex() override;
+
+  DurableIndex(const DurableIndex&) = delete;
+  DurableIndex& operator=(const DurableIndex&) = delete;
+
+  /// Builds the inner index and establishes the durable baseline: a
+  /// fresh WAL plus an initial snapshot. Failures to set up durability
+  /// are reported on stderr; the index still serves (volatile).
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override {
+    return inner_->Lookup(key, value);
+  }
+  void LookupBatch(std::span<const Key> keys, Value* values,
+                   bool* found) const override {
+    inner_->LookupBatch(keys, values, found);
+  }
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override {
+    return inner_->RangeScan(lo, hi, out);
+  }
+  size_t size() const override { return inner_->size(); }
+  size_t SizeBytes() const override { return inner_->SizeBytes(); }
+  IndexStats Stats() const override { return inner_->Stats(); }
+  std::string_view Name() const override { return name_; }
+
+  // --- Durability operations ------------------------------------------------
+
+  /// Restores the index from the directory: newest valid snapshot + WAL
+  /// replay. Call on a freshly constructed DurableIndex instead of
+  /// BulkLoad. Returns false when no valid snapshot exists or the WAL
+  /// is corrupt mid-log.
+  bool Recover();
+
+  /// Synchronous checkpoint: rotate WAL, snapshot atomically, truncate
+  /// obsolete segments and older snapshots. Blocks writers until the
+  /// snapshot is written; readers proceed throughout.
+  bool Checkpoint();
+
+  void StartCheckpointer(std::chrono::milliseconds interval);
+  void StopCheckpointer();
+
+  /// Simulates a crash for tests/bench: stops the checkpointer and
+  /// discards WAL bytes after the last fsync barrier (see
+  /// Wal::SimulateCrash). The object must not be used afterwards —
+  /// recover into a fresh DurableIndex on the same directory.
+  void SimulateCrash();
+
+  KvIndex& inner() { return *inner_; }
+  const KvIndex& inner() const { return *inner_; }
+  Wal& wal() { return wal_; }
+  const std::string& dir() const { return dir_; }
+
+  /// WAL records replayed by the last successful Recover().
+  size_t last_recovery_replayed() const { return last_recovery_replayed_; }
+  /// Wall-clock duration of the last successful Recover().
+  double last_recovery_ms() const { return last_recovery_ms_; }
+
+ private:
+  void CheckpointerLoop(std::chrono::milliseconds interval);
+  bool CheckpointLocked();
+  std::string SnapshotPath(uint64_t wal_seq) const;
+  /// Snapshot files present in the directory, by wal_seq descending.
+  std::vector<uint64_t> ListSnapshots() const;
+
+  std::unique_ptr<KvIndex> inner_;
+  std::string dir_;
+  std::string name_;
+  DurableOptions options_;
+  Wal wal_;
+
+  /// Serializes the single foreground writer against the checkpointer.
+  std::mutex write_mu_;
+  uint64_t wal_bytes_at_checkpoint_ = 0;
+  size_t last_recovery_replayed_ = 0;
+  double last_recovery_ms_ = 0.0;
+
+  std::thread checkpointer_;
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool checkpointer_stop_ = false;
+};
+
+/// Factory entry point: wraps the index the factory builds for
+/// `inner_spec` (any name MakeIndex accepts, including
+/// "Sharded<N>:<inner>") in a DurableIndex rooted at `dir`. Returns
+/// nullptr when the inner spec is unknown. MakeIndex also accepts the
+/// spelled-out spec "Durable(<dir>):<inner_spec>".
+std::unique_ptr<KvIndex> MakeDurableIndex(std::string_view inner_spec,
+                                          std::string dir,
+                                          DurableOptions options = {});
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_STORAGE_DURABLE_INDEX_H_

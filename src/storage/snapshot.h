@@ -1,0 +1,67 @@
+#ifndef CHAMELEON_STORAGE_SNAPSHOT_H_
+#define CHAMELEON_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/api/kv_index.h"
+
+namespace chameleon {
+
+/// How a snapshot's payload encodes the index contents.
+enum class SnapshotKind : uint8_t {
+  /// The index's sorted contents as raw KeyValue pairs; restored by
+  /// BulkLoad into any KvIndex implementation.
+  kSortedPairs = 0,
+  /// ChameleonIndex's native structure stream (core/serialize.cc):
+  /// slot-exact frame/unit/EBH layout, so recovery skips the DARE and
+  /// TSMDP construction entirely.
+  kChameleonNative = 1,
+};
+
+struct SnapshotMeta {
+  SnapshotKind kind = SnapshotKind::kSortedPairs;
+  /// Live keys at snapshot time.
+  uint64_t count = 0;
+  /// First WAL segment NOT covered by this snapshot: recovery loads the
+  /// snapshot and replays segments with sequence >= wal_seq.
+  uint64_t wal_seq = 0;
+};
+
+/// Generic checksummed snapshot of any served index.
+///
+/// File layout (raw little-endian, like the WAL and core/serialize.cc):
+///
+///   [magic u32][version u32][kind u8][count u64][wal_seq u64]
+///   [header_crc u32]      — crc32c of the five fields above
+///   [payload bytes]       — per SnapshotKind
+///   [payload_crc u32]     — crc32c of the payload
+///
+/// WriteSnapshot picks kChameleonNative automatically when `index` is a
+/// ChameleonIndex (the fast recovery path) and falls back to the sorted
+/// dump for every other implementation, including engine-layer wrappers
+/// like ShardedIndex. The write is atomic: the file is assembled at
+/// `path + ".tmp"`, fsynced, then renamed over `path`, so a crash never
+/// leaves a half-written snapshot under the final name.
+///
+/// Caller contract: writers must be quiesced (DurableIndex holds its
+/// write mutex); a live Chameleon retraining thread is paused and
+/// drained internally by the native save path (see core/serialize.h).
+bool WriteSnapshot(const KvIndex& index, const std::string& path,
+                   uint64_t wal_seq);
+
+/// Restores a snapshot into `*index` (freshly constructed, never
+/// bulk-loaded). Native-kind snapshots require `index` to be a
+/// ChameleonIndex; sorted-pair snapshots BulkLoad into anything.
+/// Returns false on I/O error, bad magic/version, checksum mismatch,
+/// or a kind/index mismatch. `*meta` (optional) receives the header.
+bool ReadSnapshot(KvIndex* index, const std::string& path,
+                  SnapshotMeta* meta = nullptr);
+
+/// Reads and validates only the header. Used to order snapshot files
+/// during recovery without paying for payload verification.
+bool ReadSnapshotMeta(const std::string& path, SnapshotMeta* meta);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,275 @@
+#include "src/storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "src/obs/stats.h"
+#include "src/util/crc32c.h"
+
+namespace chameleon {
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x4357414C;  // "CWAL"
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderSize = 4 + 4 + 8;  // magic, version, seq
+constexpr size_t kRecordHeaderSize = 4 + 4 + 1;   // crc, len, type
+
+/// fsyncs the directory so segment create/delete entries are durable
+/// (a file's own fsync does not persist its directory entry).
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Wal::Wal(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Wal::~Wal() { Close(); }
+
+std::string Wal::SegmentPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06llu.wal",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + name;
+}
+
+std::vector<uint64_t> Wal::ListSegments() const {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.wal", &seq) == 1) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+bool Wal::OpenSegment(uint64_t seq) {
+  file_ = std::fopen(SegmentPath(seq).c_str(), "wb");
+  if (file_ == nullptr) return false;
+  current_seq_ = seq;
+  segment_bytes_written_ = 0;
+  synced_segment_bytes_ = 0;
+  appends_since_sync_ = 0;
+  bool ok = std::fwrite(&kSegmentMagic, 4, 1, file_) == 1 &&
+            std::fwrite(&kSegmentVersion, 4, 1, file_) == 1 &&
+            std::fwrite(&seq, 8, 1, file_) == 1;
+  if (!ok) {
+    Close();
+    return false;
+  }
+  segment_bytes_written_ = kSegmentHeaderSize;
+  SyncDir(dir_);
+  return true;
+}
+
+bool Wal::Open() {
+  if (file_ != nullptr) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+  // Never append into a possibly-torn tail: start a fresh segment after
+  // the highest existing one.
+  const std::vector<uint64_t> seqs = ListSegments();
+  return OpenSegment(seqs.empty() ? 0 : seqs.back() + 1);
+}
+
+void Wal::Close() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  if (options_.fsync != FsyncPolicy::kNone) {
+    ::fsync(::fileno(file_));
+    synced_segment_bytes_ = segment_bytes_written_;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+bool Wal::DoSync() {
+  if (file_ == nullptr) return false;
+  if (std::fflush(file_) != 0) return false;
+  appends_since_sync_ = 0;
+  if (fsync_fail_in_ > 0 && --fsync_fail_in_ == 0) {
+    return false;  // injected fault: the k-th fsync "fails"
+  }
+  if (::fsync(::fileno(file_)) != 0) return false;
+  synced_segment_bytes_ = segment_bytes_written_;
+  CHAMELEON_STAT_INC(kWalFsyncs);
+  return true;
+}
+
+bool Wal::Sync() { return DoSync(); }
+
+bool Wal::Rotate() {
+  if (file_ == nullptr) return false;
+  const uint64_t next = current_seq_ + 1;
+  Close();
+  return OpenSegment(next);
+}
+
+bool Wal::Append(uint8_t type, const void* payload, size_t payload_len) {
+  if (file_ == nullptr) return false;
+  if (segment_bytes_written_ >= options_.segment_bytes && !Rotate()) {
+    return false;
+  }
+  // Assemble [len][type][payload] so one checksum covers all of it.
+  const uint32_t len = static_cast<uint32_t>(payload_len);
+  uint8_t stack_buf[64];
+  std::vector<uint8_t> heap_buf;
+  uint8_t* buf = stack_buf;
+  const size_t body = 4 + 1 + payload_len;
+  if (body > sizeof(stack_buf)) {
+    heap_buf.resize(body);
+    buf = heap_buf.data();
+  }
+  std::memcpy(buf, &len, 4);
+  buf[4] = type;
+  if (payload_len > 0) std::memcpy(buf + 5, payload, payload_len);
+  const uint32_t crc = Crc32c(buf, body);
+
+  if (std::fwrite(&crc, 4, 1, file_) != 1 ||
+      std::fwrite(buf, 1, body, file_) != body) {
+    return false;
+  }
+  const size_t record_bytes = kRecordHeaderSize + payload_len;
+  segment_bytes_written_ += record_bytes;
+  appended_bytes_ += record_bytes;
+  CHAMELEON_STAT_INC(kWalAppends);
+  CHAMELEON_STAT_ADD(kWalBytes, record_bytes);
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return DoSync();
+    case FsyncPolicy::kEveryN:
+      if (++appends_since_sync_ >= options_.fsync_every_n) return DoSync();
+      return true;
+    case FsyncPolicy::kNone:
+      return true;
+  }
+  return true;
+}
+
+size_t Wal::TruncateBefore(uint64_t seq) {
+  size_t removed = 0;
+  for (uint64_t s : ListSegments()) {
+    if (s >= seq) break;
+    if (file_ != nullptr && s == current_seq_) continue;  // never the live one
+    std::error_code ec;
+    if (std::filesystem::remove(SegmentPath(s), ec)) ++removed;
+  }
+  if (removed > 0) SyncDir(dir_);
+  return removed;
+}
+
+void Wal::SimulateCrash() {
+  if (file_ == nullptr) return;
+  // fclose flushes the stdio buffer to the kernel, so emulate the lost
+  // page cache by truncating back to the last fsync barrier afterwards.
+  // Earlier (closed) segments are assumed written back — a crash's
+  // page-cache loss window in practice spans only recent writes.
+  const std::string path = SegmentPath(current_seq_);
+  const uint64_t keep = synced_segment_bytes_;
+  std::fclose(file_);
+  file_ = nullptr;
+  (void)TruncateFileTo(path, keep);
+}
+
+bool Wal::TruncateFileTo(const std::string& path, uint64_t offset) {
+  return ::truncate(path.c_str(), static_cast<off_t>(offset)) == 0;
+}
+
+Wal::ReplayStatus Wal::Replay(uint64_t from_seq, const ReplayFn& fn,
+                              size_t* replayed) const {
+  if (replayed != nullptr) *replayed = 0;
+  std::vector<uint64_t> seqs = ListSegments();
+  seqs.erase(std::remove_if(seqs.begin(), seqs.end(),
+                            [&](uint64_t s) { return s < from_seq; }),
+             seqs.end());
+  size_t count = 0;
+  for (size_t si = 0; si < seqs.size(); ++si) {
+    const bool last_segment = si + 1 == seqs.size();
+    const std::string path = SegmentPath(seqs[si]);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return ReplayStatus::kIoError;
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> data(sz > 0 ? static_cast<size_t>(sz) : 0);
+    const bool read_ok =
+        data.empty() || std::fread(data.data(), 1, data.size(), f) ==
+                            data.size();
+    std::fclose(f);
+    if (!read_ok) return ReplayStatus::kIoError;
+
+    // Segment header. A header that extends past EOF is a torn segment
+    // creation when it is the last segment; anything else is corruption.
+    if (data.size() < kSegmentHeaderSize) {
+      if (last_segment) break;
+      return ReplayStatus::kCorrupt;
+    }
+    uint32_t magic = 0, version = 0;
+    uint64_t seq = 0;
+    std::memcpy(&magic, data.data(), 4);
+    std::memcpy(&version, data.data() + 4, 4);
+    std::memcpy(&seq, data.data() + 8, 8);
+    if (magic != kSegmentMagic || version != kSegmentVersion ||
+        seq != seqs[si]) {
+      return ReplayStatus::kCorrupt;
+    }
+
+    size_t off = kSegmentHeaderSize;
+    while (off < data.size()) {
+      // Incomplete record header or payload: torn tail iff this is the
+      // final segment (nothing can follow an incomplete record).
+      bool torn = false;
+      uint32_t crc = 0, len = 0;
+      size_t end = data.size();
+      if (off + kRecordHeaderSize > data.size()) {
+        torn = true;
+      } else {
+        std::memcpy(&crc, data.data() + off, 4);
+        std::memcpy(&len, data.data() + off + 4, 4);
+        end = off + kRecordHeaderSize + len;
+        if (end > data.size() || end < off) {
+          torn = true;
+        } else if (Crc32c(data.data() + off + 4, 5 + len) != crc) {
+          // A checksum failure with nothing after the record is a torn
+          // final append; with live data following it, the log was
+          // already durable past this point — mid-log corruption.
+          if (end == data.size()) {
+            torn = true;
+          } else {
+            return ReplayStatus::kCorrupt;
+          }
+        }
+      }
+      if (torn) {
+        if (last_segment) {
+          off = data.size();  // stop cleanly before the torn record
+          break;
+        }
+        return ReplayStatus::kCorrupt;
+      }
+      fn(data[off + 8], std::span<const uint8_t>(data.data() + off + 9, len));
+      ++count;
+      off = end;
+    }
+  }
+  if (replayed != nullptr) *replayed = count;
+  CHAMELEON_STAT_ADD(kWalReplayedRecords, count);
+  return ReplayStatus::kOk;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,150 @@
+#ifndef CHAMELEON_STORAGE_WAL_H_
+#define CHAMELEON_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+
+/// When appended records are forced to stable storage.
+enum class FsyncPolicy : uint8_t {
+  kAlways,  ///< fflush + fsync after every append (no acked write is lost)
+  kEveryN,  ///< fsync once per `fsync_every_n` appends (group commit)
+  kNone,    ///< never fsync; data persists only via OS writeback / Close
+};
+
+struct WalOptions {
+  /// Rotate to a fresh segment once the current one exceeds this.
+  size_t segment_bytes = 4u << 20;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// Group-commit window for FsyncPolicy::kEveryN.
+  size_t fsync_every_n = 64;
+};
+
+/// Segmented append-only write-ahead log.
+///
+/// A directory holds numbered segment files `wal-<seq>.wal`; each
+/// segment starts with a small header (magic, version, sequence number)
+/// followed by records of the form
+///
+///   [crc32c u32][payload_len u32][type u8][payload bytes]
+///
+/// where the checksum covers everything after itself (length, type, and
+/// payload), so a flipped bit anywhere in a record is detected. All
+/// integers are raw little-endian, matching core/serialize.cc.
+///
+/// Replay semantics (the recovery contract): segments are replayed in
+/// sequence order. A damaged record is classified by position:
+///  * in any non-final segment, or followed by further bytes in the
+///    final segment -> mid-log corruption, replay hard-fails
+///    (kCorrupt) — the log was durable there, so damage means real
+///    data loss and recovery must not silently skip it;
+///  * the final record of the final segment (it extends past EOF or its
+///    checksum fails with nothing after it) -> torn tail from a crash
+///    mid-append, replay stops cleanly before it (kOk).
+///
+/// Thread model: single appender (matching the single-writer KvIndex
+/// contract); Replay and the maintenance calls are exclusive with
+/// appends. DurableIndex serializes them behind its write mutex.
+class Wal {
+ public:
+  enum class ReplayStatus { kOk, kCorrupt, kIoError };
+
+  /// One replayed record handed to the Replay callback.
+  using ReplayFn =
+      std::function<void(uint8_t type, std::span<const uint8_t> payload)>;
+
+  explicit Wal(std::string dir, WalOptions options = {});
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens the log for appending: scans `dir` for existing segments and
+  /// starts a *new* segment after the highest existing sequence number
+  /// (never appends into a possibly-torn tail). Creates the directory
+  /// if missing. Returns false on I/O error.
+  bool Open();
+
+  /// Flushes, fsyncs (unless policy is kNone), and closes the current
+  /// segment. Open() may be called again afterwards.
+  void Close();
+
+  /// Appends one record and applies the fsync policy. Returns false on
+  /// write or (policy-required) fsync failure — the record is then not
+  /// acknowledged; it may still surface during replay, which callers
+  /// must treat as at-least-once for unacknowledged tail ops.
+  bool Append(uint8_t type, const void* payload, size_t payload_len);
+
+  /// Forces buffered appends to stable storage now (a group-commit
+  /// barrier under kEveryN/kNone). Returns false on failure.
+  bool Sync();
+
+  /// Closes the current segment and starts the next one. Checkpoints
+  /// rotate first so the snapshot boundary is a segment boundary.
+  bool Rotate();
+
+  /// Deletes every segment with sequence < `seq` (they are covered by a
+  /// snapshot). Returns the number of segments removed.
+  size_t TruncateBefore(uint64_t seq);
+
+  /// Replays records from all segments with sequence >= `from_seq` in
+  /// order, invoking `fn` for each intact record. `*replayed` (optional)
+  /// receives the record count. See the class comment for the
+  /// torn-tail / corruption classification.
+  ReplayStatus Replay(uint64_t from_seq, const ReplayFn& fn,
+                      size_t* replayed = nullptr) const;
+
+  /// Sequence number of the segment currently being appended to (the
+  /// first segment a snapshot taken *now* would not cover).
+  uint64_t current_seq() const { return current_seq_; }
+  /// Bytes appended to the log since Open() (record bytes, all segments).
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Sequence numbers of the segments present on disk, ascending.
+  std::vector<uint64_t> ListSegments() const;
+  std::string SegmentPath(uint64_t seq) const;
+
+  // --- Fault injection (tests and bench_durability --crash-after) -----------
+
+  /// Makes the k-th fsync *from now* (1-based) fail; 0 disables. The
+  /// failed fsync consumes the trigger, subsequent ones succeed.
+  void InjectFsyncFailure(size_t kth) {
+    fsync_fail_in_ = kth;
+  }
+
+  /// Simulates a process crash: discards everything after the last
+  /// fsync barrier by truncating the current segment to its last synced
+  /// offset, then closes the file descriptor without flushing. Under
+  /// FsyncPolicy::kAlways nothing is lost; under kEveryN/kNone the
+  /// un-synced tail disappears exactly as it would on power failure.
+  /// The Wal is unusable afterwards (recover into a fresh one).
+  void SimulateCrash();
+
+  /// Test helper: truncates `path` to `offset` bytes (torn-write
+  /// injection). Returns false on error.
+  static bool TruncateFileTo(const std::string& path, uint64_t offset);
+
+ private:
+  bool OpenSegment(uint64_t seq);
+  bool DoSync();
+
+  std::string dir_;
+  WalOptions options_;
+  std::FILE* file_ = nullptr;
+  uint64_t current_seq_ = 0;
+  uint64_t segment_bytes_written_ = 0;  // current segment file size
+  uint64_t synced_segment_bytes_ = 0;   // offset covered by the last fsync
+  uint64_t appended_bytes_ = 0;
+  size_t appends_since_sync_ = 0;
+  size_t fsync_fail_in_ = 0;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_STORAGE_WAL_H_

@@ -1,0 +1,74 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace chameleon {
+namespace {
+
+#if !defined(__SSE4_2__)
+// Slice-by-4 tables for the reflected Castagnoli polynomial, generated
+// at compile time. table[0] is the classic byte-at-a-time table;
+// table[k][b] is table[0] advanced k extra zero bytes, letting the loop
+// fold four input bytes per iteration.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::array<uint32_t, 256>, 4> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    t[0][b] = crc;
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    for (int k = 1; k < 4; ++k) {
+      t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFF];
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = MakeTables();
+#endif
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+#if defined(__SSE4_2__)
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#else
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables[3][crc & 0xFF] ^ kTables[2][(crc >> 8) & 0xFF] ^
+          kTables[1][(crc >> 16) & 0xFF] ^ kTables[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace chameleon

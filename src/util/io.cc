@@ -1,15 +1,37 @@
 #include "src/util/io.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 namespace chameleon {
+namespace {
+
+/// One-line stderr diagnostic with errno context; every failure path
+/// reports *why* (missing file, short read, full disk) instead of a
+/// silent false.
+void WarnIo(const char* op, const std::string& path, const char* detail) {
+  if (errno != 0) {
+    std::fprintf(stderr, "WARNING: %s(%s): %s: %s\n", op, path.c_str(),
+                 detail, std::strerror(errno));
+  } else {
+    std::fprintf(stderr, "WARNING: %s(%s): %s\n", op, path.c_str(), detail);
+  }
+}
+
+}  // namespace
 
 bool ReadSosdFile(const std::string& path, std::vector<Key>* keys) {
+  errno = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    WarnIo("ReadSosdFile", path, "cannot open");
+    return false;
+  }
   uint64_t count = 0;
   if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    WarnIo("ReadSosdFile", path, "cannot read key count header");
     std::fclose(f);
     return false;
   }
@@ -17,6 +39,7 @@ bool ReadSosdFile(const std::string& path, std::vector<Key>* keys) {
   const size_t read = std::fread(keys->data(), sizeof(Key), count, f);
   std::fclose(f);
   if (read != count) {
+    WarnIo("ReadSosdFile", path, "truncated: fewer keys than header claims");
     keys->clear();
     return false;
   }
@@ -24,12 +47,20 @@ bool ReadSosdFile(const std::string& path, std::vector<Key>* keys) {
 }
 
 bool WriteSosdFile(const std::string& path, const std::vector<Key>& keys) {
+  errno = 0;
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    WarnIo("WriteSosdFile", path, "cannot open");
+    return false;
+  }
   const uint64_t count = keys.size();
   bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
   ok = ok && std::fwrite(keys.data(), sizeof(Key), count, f) == count;
-  std::fclose(f);
+  if (!ok) WarnIo("WriteSosdFile", path, "short write");
+  if (std::fclose(f) != 0) {
+    WarnIo("WriteSosdFile", path, "close failed");
+    return false;
+  }
   return ok;
 }
 

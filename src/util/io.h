@@ -9,10 +9,12 @@
 namespace chameleon {
 
 /// Reads a key file in SOSD binary format: a uint64 count followed by
-/// `count` little-endian uint64 keys. Returns false on I/O or format error.
+/// `count` little-endian uint64 keys. Returns false on I/O or format
+/// error, after printing an errno-annotated diagnostic to stderr.
 bool ReadSosdFile(const std::string& path, std::vector<Key>* keys);
 
-/// Writes keys in SOSD binary format. Returns false on I/O error.
+/// Writes keys in SOSD binary format. Returns false on I/O error, after
+/// printing an errno-annotated diagnostic to stderr.
 bool WriteSosdFile(const std::string& path, const std::vector<Key>& keys);
 
 }  // namespace chameleon

@@ -1,5 +1,6 @@
 // Tests for index structure persistence (core/serialize.h).
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 
 #include "src/core/serialize.h"
 #include "src/data/dataset.h"
+#include "src/obs/stats.h"
 #include "src/util/timer.h"
 #include "src/workload/workload.h"
 
@@ -99,6 +101,49 @@ TEST(SerializeTest, LoadIsFasterThanRebuild) {
   const double load_ms = load_timer.ElapsedMillis();
   // Loading skips DARE's GA and TSMDP entirely.
   EXPECT_LT(load_ms, build_ms);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveWithLiveRetrainerPausesItAndSucceeds) {
+  // Regression for the documented footgun: SaveTo used to walk the
+  // structure unlocked, so a live retraining thread could tear the
+  // stream. It now pauses/drains the retrainer for the duration (and
+  // counts doing so), then resumes it.
+  const std::string path = TempPath("cham_retrainer_save.bin");
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kFace, 25'000, 13);
+  ChameleonIndex index;
+  index.BulkLoad(ToKeyValues(keys));
+  // Churn so retrain passes have real work while saves are in flight.
+  WorkloadGenerator gen(keys, 3);
+  for (const Operation& op : gen.InsertDelete(8'000, 0.5)) {
+    if (op.type == OpType::kInsert) {
+      index.Insert(op.key, op.value);
+    } else {
+      index.Erase(op.key);
+    }
+  }
+#ifndef CHAMELEON_NO_STATS
+  obs::StatsRegistry::Get().Reset();
+#endif
+  index.StartRetrainer(std::chrono::milliseconds(1));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index.SaveTo(path)) << "save " << i;
+  }
+  index.StopRetrainer();
+#ifndef CHAMELEON_NO_STATS
+  EXPECT_EQ(obs::StatsRegistry::Get().Total(obs::Counter::kSaveRetrainerPauses),
+            5u);
+  obs::StatsRegistry::Get().Reset();
+#endif
+
+  // The stream written under a live retrainer is intact and complete.
+  ChameleonIndex restored;
+  ASSERT_TRUE(restored.LoadFrom(path));
+  EXPECT_EQ(restored.size(), index.size());
+  std::vector<KeyValue> all;
+  restored.RangeScan(0, kMaxKey - 1, &all);
+  EXPECT_EQ(all.size(), gen.live_keys());
   std::remove(path.c_str());
 }
 

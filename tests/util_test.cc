@@ -131,9 +131,28 @@ TEST(IoTest, SosdRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, SosdRoundTripEmptyAndLarge) {
+  const std::string path = ::testing::TempDir() + "/sosd_sizes.bin";
+  for (size_t n : {size_t{0}, size_t{100'000}}) {
+    std::vector<Key> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = i * 3 + 1;
+    ASSERT_TRUE(WriteSosdFile(path, keys)) << n;
+    std::vector<Key> loaded = {999};  // must be fully replaced
+    ASSERT_TRUE(ReadSosdFile(path, &loaded)) << n;
+    EXPECT_EQ(loaded, keys) << n;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(IoTest, MissingFileFails) {
   std::vector<Key> keys;
   EXPECT_FALSE(ReadSosdFile("/nonexistent/nope.bin", &keys));
+}
+
+TEST(IoTest, WriteToUnwritablePathFails) {
+  // Both failure modes report errno context on stderr; what we can
+  // assert portably is the clean false (no crash, no partial success).
+  EXPECT_FALSE(WriteSosdFile("/nonexistent/dir/out.bin", {1, 2, 3}));
 }
 
 TEST(IoTest, TruncatedFileFails) {
