@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
               "width1000-ns");
   PrintRule(58);
   for (const std::string& name : AllIndexNames()) {
-    std::unique_ptr<KvIndex> index = MakeIndex(name);
+    std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
     index->BulkLoad(data);
     std::printf("%-10s", name.c_str());
     for (size_t width : {10u, 100u, 1000u}) {

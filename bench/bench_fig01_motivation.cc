@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   const std::vector<Key> keys = GenerateDataset(DatasetKind::kLogn, bulk, 7);
 
   for (const char* name : {"ALEX", "Chameleon"}) {
-    std::unique_ptr<KvIndex> index = MakeIndex(name);
+    std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
     index->BulkLoad(ToKeyValues(keys));
     // Chameleon runs as deployed: with its background retraining thread,
     // which rebuilds drifted units before the foreground hits expansion

@@ -40,13 +40,13 @@ int main(int argc, char** argv) {
           GenerateClusteredSkew(opt.scale, sigma, opt.seed);
       const std::vector<KeyValue> data = ToKeyValues(keys);
 
-      std::unique_ptr<KvIndex> btree = MakeIndex("B+Tree");
+      std::unique_ptr<KvIndex> btree = MakeBenchIndex("B+Tree", opt);
       btree->BulkLoad(data);
       WorkloadGenerator gen_b(keys, opt.seed + 1);
       const double btree_ns =
           ReplayMeanNs(btree.get(), gen_b.ReadOnly(opt.ops));
 
-      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
       index->BulkLoad(data);
       WorkloadGenerator gen(keys, opt.seed + 1);
       const double ns =

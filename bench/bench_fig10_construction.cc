@@ -23,20 +23,20 @@ int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
   // Local flag: --index=NAME restricts the sweep to one index (used by
   // the --threads speedup runs, where building all 11 indexes at large
-  // scale would dwarf the measurement of interest).
+  // scale would dwarf the measurement of interest). NAME may be a full
+  // composed spec, e.g. --index='Sharded4:Durable(/tmp/d):Chameleon'.
   std::string only_index;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--index=", 8) == 0) only_index = argv[i] + 8;
   }
-  // Unknown --index names fail loudly: a silent empty table looks like a
+  // Bad --index specs fail loudly: a silent empty table looks like a
   // successful run to sweep scripts diffing the JSON blobs.
   if (!only_index.empty()) {
-    const std::vector<std::string> names = AllIndexNames();
-    if (std::find(names.begin(), names.end(), only_index) == names.end()) {
-      std::fprintf(stderr, "ERROR: --index=%s matches no index; valid names:",
-                   only_index.c_str());
-      for (const std::string& n : names) std::fprintf(stderr, " %s", n.c_str());
-      std::fprintf(stderr, "\n");
+    std::string error;
+    if (MakeIndex(only_index, &error) == nullptr) {
+      std::fprintf(stderr, "ERROR: bad --index=%s\n  %s\n%s",
+                   only_index.c_str(), error.c_str(),
+                   IndexSpecGrammarHelp().c_str());
       return 2;
     }
   }
@@ -48,14 +48,15 @@ int main(int argc, char** argv) {
   std::printf("%-10s %14s %14s %14s\n", "index", "OSMC(ms)", "FACE(ms)",
               "LOGN(ms)");
   PrintRule(60);
-  for (const std::string& name : AllIndexNames()) {
-    if (!only_index.empty() && name != only_index) continue;
+  std::vector<std::string> names = AllIndexNames();
+  if (!only_index.empty()) names = {only_index};
+  for (const std::string& name : names) {
     std::printf("%-10s", name.c_str());
     for (DatasetKind kind :
          {DatasetKind::kOsmc, DatasetKind::kFace, DatasetKind::kLogn}) {
       const std::vector<KeyValue> data =
           ToKeyValues(GenerateDataset(kind, opt.scale, opt.seed));
-      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
       Timer timer;
       index->BulkLoad(data);
       const int64_t build_ns = timer.ElapsedNanos();

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       std::printf("%-10s", name.c_str());
       for (double r : ratios) {
         const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
-        std::unique_ptr<KvIndex> index = MakeIndex(name);
+        std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(ToKeyValues(keys));
         WorkloadGenerator gen(keys, opt.seed + 1);
         // Cap delete-heavy streams to the available pool.

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     std::printf("%-10s", name.c_str());
     for (DatasetKind kind : kAllDatasets) {
       const std::vector<Key> keys = GenerateDataset(kind, bulk, opt.seed);
-      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
       index->BulkLoad(ToKeyValues(keys));
       WorkloadGenerator gen(keys, opt.seed + 9);
       const std::vector<Operation> ops = gen.InsertDelete(inserts, 1.0);

@@ -21,13 +21,18 @@ namespace {
 
 constexpr size_t kN = 200'000;
 
+// The registered benchmark lambdas only capture the index name; the
+// harness options (--spec adapter stack) are parsed in main before
+// RunSpecifiedBenchmarks and published here for the fixtures.
+bench::Options g_opt;
+
 struct Fixture {
   std::vector<Key> keys;
   std::unique_ptr<KvIndex> index;
 
   explicit Fixture(const std::string& name) {
     keys = GenerateDataset(DatasetKind::kLogn, kN, 3);
-    index = MakeIndex(name);
+    index = bench::MakeBenchIndex(name, g_opt);
     index->BulkLoad(ToKeyValues(keys));
   }
 };
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
   using namespace chameleon;
   using namespace chameleon::bench;
   const Options opt = Options::ParseStrip(&argc, argv);
+  g_opt = opt;
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -101,7 +107,7 @@ int main(int argc, char** argv) {
     const std::vector<Key> keys =
         GenerateDataset(DatasetKind::kLogn, opt.scale, opt.seed);
     for (const std::string& name : UpdatableIndexNames()) {
-      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
       index->BulkLoad(ToKeyValues(keys));
       WorkloadGenerator gen(keys, opt.seed + 1);
       const double lookup_ns =

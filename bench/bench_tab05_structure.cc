@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     const std::vector<Key> keys = GenerateDataset(kind, opt.scale, opt.seed);
     const std::vector<KeyValue> data = ToKeyValues(keys);
     for (const char* name : names) {
-      std::unique_ptr<KvIndex> index = MakeIndex(name);
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
       index->BulkLoad(data);
       const IndexStats s = index->Stats();
       // This table is structure-only; with --json a lookup replay runs

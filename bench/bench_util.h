@@ -37,9 +37,15 @@ namespace chameleon::bench {
 ///                  CHAMELEON_THREADS env or hardware concurrency)
 ///   --batch=N      issue kLookup runs through LookupBatch in groups of
 ///                  N (1 = per-key Lookup; benches that replay)
-///   --shards=N     serve through the engine layer: wrap each index in
-///                  ShardedIndex with N range-partitioned shards (1 =
-///                  the plain index, bit-identical to the historical
+///   --spec=STACK   deployment adapter stack wrapped around every index
+///                  the bench sweeps, as a ':'-separated adapter chain
+///                  (the swept index name is appended as the leaf):
+///                  --spec='Sharded4' or
+///                  --spec='Sharded2:Durable(/tmp/d,fsync=everyN)'.
+///                  Parsed and canonicalized up front; a bad stack
+///                  prints the spec grammar and exits.
+///   --shards=N     sugar for prepending "Sharded<N>" to --spec (1 =
+///                  the plain stack, bit-identical to the historical
 ///                  single-index path)
 ///   --rthreads=R   foreground replay threads for read-only replays
 ///                  (driver layer; write-bearing streams stay on one
@@ -54,6 +60,9 @@ struct Options {
   size_t shards = 1;
   size_t rthreads = 1;
   size_t warmup = 0;
+  /// Canonicalized adapter stack every swept index is wrapped in
+  /// (includes the --shards sugar); "" = plain indexes.
+  std::string spec;
   std::string json_path;
   std::string trace_path;
 
@@ -61,7 +70,7 @@ struct Options {
     static constexpr const char* kPrefixes[] = {
         "--scale=", "--ops=",     "--seed=",   "--json=",
         "--trace=", "--threads=", "--batch=",  "--shards=",
-        "--rthreads=", "--warmup="};
+        "--rthreads=", "--warmup=", "--spec="};
     for (const char* p : kPrefixes) {
       if (std::strncmp(arg, p, std::strlen(p)) == 0) return true;
     }
@@ -92,12 +101,33 @@ struct Options {
         opt.json_path = argv[i] + 7;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         opt.trace_path = argv[i] + 8;
+      } else if (std::strncmp(argv[i], "--spec=", 7) == 0) {
+        opt.spec = argv[i] + 7;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH "
-            "--threads=N --batch=N --shards=N --rthreads=R --warmup=N\n");
+            "--threads=N --batch=N --shards=N --rthreads=R --warmup=N "
+            "--spec=STACK\n\n%s",
+            IndexSpecGrammarHelp().c_str());
         std::exit(0);
       }
+    }
+    // --shards=N is sugar for an outermost Sharded<N> adapter; it folds
+    // into the unified spec so there is exactly one composition path.
+    if (opt.shards > 1) {
+      opt.spec = "Sharded" + std::to_string(opt.shards) +
+                 (opt.spec.empty() ? "" : ":" + opt.spec);
+    }
+    if (!opt.spec.empty()) {
+      std::string error;
+      const std::string canonical = CanonicalAdapterStack(opt.spec, &error);
+      if (canonical.empty()) {
+        std::fprintf(stderr, "ERROR: bad --spec \"%s\": %s\n%s",
+                     opt.spec.c_str(), error.c_str(),
+                     IndexSpecGrammarHelp().c_str());
+        std::exit(2);
+      }
+      opt.spec = canonical;
     }
     // Resize the global pool up front, before any index construction.
     if (opt.threads > 0) SetGlobalThreads(opt.threads);
@@ -118,13 +148,42 @@ struct Options {
   }
 };
 
+/// Full spec string for one swept index under the current options: the
+/// canonical --spec adapter stack (with the --shards sugar folded in)
+/// wrapped around `name`.
+inline std::string ComposeSpec(std::string_view name, const Options& opt) {
+  return opt.spec.empty() ? std::string(name)
+                          : opt.spec + ":" + std::string(name);
+}
+
+/// The spec every JSON blob echoes: the canonical adapter stack with a
+/// "<index>" placeholder leaf (benches sweep many leaves per run).
+inline std::string SpecPattern(const Options& opt) {
+  return opt.spec.empty() ? std::string("<index>") : opt.spec + ":<index>";
+}
+
+/// MakeIndex that cannot fail silently: on a bad spec, prints the
+/// parser's position-accurate error plus the spec grammar and valid
+/// base-index names, then exits. Benches use this everywhere so a typo
+/// in --index/--spec never turns into a nullptr crash.
+inline std::unique_ptr<KvIndex> MakeIndexOrDie(std::string_view spec) {
+  std::string error;
+  std::unique_ptr<KvIndex> index = MakeIndex(spec, &error);
+  if (index == nullptr) {
+    std::fprintf(stderr, "ERROR: cannot build index \"%.*s\": %s\n%s",
+                 static_cast<int>(spec.size()), spec.data(), error.c_str(),
+                 IndexSpecGrammarHelp().c_str());
+    std::exit(2);
+  }
+  return index;
+}
+
 /// Creates the index a bench drives for `name` under the current
-/// options: the plain factory index at --shards=1, or the engine-layer
-/// ShardedIndex wrapping N factory instances at --shards=N.
+/// options: `name` wrapped in the --spec adapter stack (which includes
+/// the --shards sugar). Dies loudly on an invalid composition.
 inline std::unique_ptr<KvIndex> MakeBenchIndex(std::string_view name,
                                                const Options& opt) {
-  return opt.shards <= 1 ? MakeIndex(name)
-                         : MakeShardedIndex(name, opt.shards);
+  return MakeIndexOrDie(ComposeSpec(name, opt));
 }
 
 /// Replay options for this bench's read-only replays: R = --rthreads
@@ -221,6 +280,8 @@ inline std::string JsonEscape(std::string_view s) {
 ///   {
 ///     "bench": "...", "scale": N, "ops": N, "seed": N,
 ///     "threads": N, "batch": N, "shards": N, "rthreads": N,
+///     "spec": "Sharded4:Durable(...):<index>",  // canonical adapter
+///                                               // stack per swept index
 ///     "throughput_mops": X,              // from the latency histogram
 ///     "latency_ns": {"count","mean","p50","p90","p99","p999","max"},
 ///     "rows": [ {bench-specific fields}, ... ],
@@ -291,11 +352,12 @@ class JsonReport {
                  "  \"threads\": %zu,\n"
                  "  \"batch\": %zu,\n"
                  "  \"shards\": %zu,\n"
-                 "  \"rthreads\": %zu,\n",
+                 "  \"rthreads\": %zu,\n"
+                 "  \"spec\": \"%s\",\n",
                  JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
                  static_cast<unsigned long long>(opt_.seed),
                  GlobalPool().num_threads(), opt_.batch, opt_.shards,
-                 opt_.rthreads);
+                 opt_.rthreads, JsonEscape(SpecPattern(opt_)).c_str());
     std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
                  mean > 0.0 ? 1e3 / mean : 0.0);
     std::fprintf(f,

@@ -1,8 +1,8 @@
 #include "src/api/index_factory.h"
 
-#include <cctype>
-#include <cstdlib>
+#include <mutex>
 
+#include "src/api/index_spec.h"
 #include "src/baselines/alex/alex.h"
 #include "src/baselines/btree/btree.h"
 #include "src/baselines/dic/dic.h"
@@ -17,16 +17,6 @@
 #include "src/storage/durable_index.h"
 
 namespace chameleon {
-namespace {
-
-/// Counts factory-built instances so a bench JSON snapshot records how
-/// many index objects contributed to its counter totals.
-std::unique_ptr<KvIndex> Counted(std::unique_ptr<KvIndex> index) {
-  if (index != nullptr) CHAMELEON_STAT_INC(kIndexesCreated);
-  return index;
-}
-
-}  // namespace
 
 std::vector<std::string> AllIndexNames() {
   return {"B+Tree", "DIC",     "RS",   "PGM",   "ALEX",
@@ -39,7 +29,9 @@ std::vector<std::string> UpdatableIndexNames() {
 
 namespace {
 
-std::unique_ptr<KvIndex> MakeIndexImpl(std::string_view name) {
+/// The base-index table: plain names only; all composition lives in the
+/// decorator registry (index_spec.h).
+std::unique_ptr<KvIndex> MakeBaseIndex(std::string_view name) {
   if (name == "B+Tree") return std::make_unique<BPlusTree>();
   if (name == "DIC") return std::make_unique<DicIndex>();
   if (name == "RS") return std::make_unique<RadixSpline>();
@@ -63,44 +55,173 @@ std::unique_ptr<KvIndex> MakeIndexImpl(std::string_view name) {
     config.mode = ChameleonMode::kFull;
     return std::make_unique<ChameleonIndex>(config);
   }
-  // Engine-layer spec "Sharded<N>:<inner>" (e.g. "Sharded4:Chameleon"):
-  // route through the sharded serving engine so name-driven sweeps can
-  // exercise it like any other index.
-  constexpr std::string_view kShardedPrefix = "Sharded";
-  if (name.size() > kShardedPrefix.size() &&
-      name.substr(0, kShardedPrefix.size()) == kShardedPrefix &&
-      std::isdigit(static_cast<unsigned char>(name[kShardedPrefix.size()]))) {
-    size_t shards = 0;
-    size_t i = kShardedPrefix.size();
-    while (i < name.size() &&
-           std::isdigit(static_cast<unsigned char>(name[i]))) {
-      shards = shards * 10 + static_cast<size_t>(name[i] - '0');
-      ++i;
-    }
-    if (i < name.size() && name[i] == ':' && shards > 0) {
-      return MakeShardedIndex(name.substr(i + 1), shards);
-    }
-  }
-  // Storage-layer spec "Durable(<dir>):<inner>" (e.g.
-  // "Durable(/tmp/d):Sharded4:Chameleon"): wrap the inner spec in the
-  // WAL + snapshot durability adapter rooted at <dir>.
-  constexpr std::string_view kDurablePrefix = "Durable(";
-  if (name.size() > kDurablePrefix.size() &&
-      name.substr(0, kDurablePrefix.size()) == kDurablePrefix) {
-    const size_t close = name.find("):", kDurablePrefix.size());
-    if (close != std::string_view::npos) {
-      std::string dir(name.substr(kDurablePrefix.size(),
-                                  close - kDurablePrefix.size()));
-      return MakeDurableIndex(name.substr(close + 2), std::move(dir));
-    }
-  }
   return nullptr;
+}
+
+std::string JoinedBaseNames() {
+  std::string joined;
+  for (const std::string& name : AllIndexNames()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+std::string JoinedDecoratorNames() {
+  std::string joined;
+  for (const std::string& usage : IndexDecoratorUsage()) {
+    const size_t cut = usage.find_first_of(" (<");
+    if (!joined.empty()) joined += ", ";
+    joined += usage.substr(0, cut);
+  }
+  return joined;
 }
 
 }  // namespace
 
-std::unique_ptr<KvIndex> MakeIndex(std::string_view name) {
-  return Counted(MakeIndexImpl(name));
+void EnsureBuiltinIndexDecorators() {
+  static std::once_flag once;
+  // Registration lives with each adapter's implementation (engine /
+  // storage layer); the lazy call_once sidesteps the static-initializer
+  // ordering and linker dead-stripping hazards of self-registering
+  // translation units in a static library.
+  std::call_once(once, [] {
+    RegisterShardedDecorator();
+    RegisterDurableDecorator();
+  });
+}
+
+std::unique_ptr<KvIndex> BuildIndexSpec(const SpecNode& node,
+                                        const SpecBuildContext& ctx,
+                                        SpecError* error) {
+  EnsureBuiltinIndexDecorators();
+  DecoratorInfo info;
+  if (GetIndexDecorator(node.name, &info)) {
+    if (info.wants_count && (!node.has_count || node.count == 0)) {
+      error->pos = node.pos;
+      error->message = "adapter '" + node.name +
+                       "' needs a shard count >= 1 (e.g. " + node.name + "4)";
+      return nullptr;
+    }
+    if (!info.wants_count && node.has_count) {
+      error->pos = node.pos;
+      error->message =
+          "adapter '" + node.name + "' does not take a count suffix";
+      return nullptr;
+    }
+    if (node.inner == nullptr) {
+      error->pos = node.pos;
+      error->message = "adapter '" + node.name +
+                       "' needs an inner index, e.g. \"" + node.Canonical() +
+                       ":Chameleon\"";
+      return nullptr;
+    }
+    std::unique_ptr<KvIndex> built = info.builder(node, ctx, error);
+    if (built != nullptr) CHAMELEON_STAT_INC(kIndexesCreated);
+    return built;
+  }
+
+  // Not an adapter: must be a plain base-index leaf.
+  if (node.inner != nullptr) {
+    error->pos = node.pos;
+    error->message = "'" + node.name +
+                     "' is not a registered adapter (adapters: " +
+                     JoinedDecoratorNames() +
+                     "); only adapters can wrap an inner spec";
+    return nullptr;
+  }
+  if (!node.options.empty()) {
+    error->pos = node.options.front().pos;
+    error->message = "index '" + node.name + "' takes no (...) options";
+    return nullptr;
+  }
+  std::unique_ptr<KvIndex> base = MakeBaseIndex(node.name);
+  if (base == nullptr) {
+    error->pos = node.pos;
+    error->message = "unknown index '" + node.name +
+                     "'; valid names: " + JoinedBaseNames() +
+                     " (alias: ChaDATS = Chameleon)";
+    return nullptr;
+  }
+  CHAMELEON_STAT_INC(kIndexesCreated);
+  return base;
+}
+
+std::unique_ptr<KvIndex> MakeIndex(std::string_view spec, std::string* error) {
+  SpecError spec_error;
+  std::unique_ptr<KvIndex> index;
+  std::unique_ptr<SpecNode> node = ParseIndexSpec(spec, &spec_error);
+  if (node != nullptr) {
+    index = BuildIndexSpec(*node, SpecBuildContext{}, &spec_error);
+  }
+  if (index == nullptr && error != nullptr) *error = spec_error.Render();
+  return index;
+}
+
+std::unique_ptr<KvIndex> MakeIndex(std::string_view spec) {
+  return MakeIndex(spec, nullptr);
+}
+
+std::string CanonicalIndexSpec(std::string_view spec, std::string* error) {
+  SpecError spec_error;
+  std::unique_ptr<SpecNode> node = ParseIndexSpec(spec, &spec_error);
+  if (node == nullptr) {
+    if (error != nullptr) *error = spec_error.Render();
+    return "";
+  }
+  SpecNode& leaf = node->leaf();
+  if (leaf.name == "ChaDATS") leaf.name = "Chameleon";
+  return node->Canonical();
+}
+
+std::string CanonicalAdapterStack(std::string_view stack, std::string* error) {
+  SpecError spec_error;
+  std::unique_ptr<SpecNode> node = ParseIndexSpec(stack, &spec_error);
+  if (node == nullptr) {
+    if (error != nullptr) *error = spec_error.Render();
+    return "";
+  }
+  for (const SpecNode* n = node.get(); n != nullptr; n = n->inner.get()) {
+    DecoratorInfo info;
+    if (!GetIndexDecorator(n->name, &info)) {
+      spec_error.pos = n->pos;
+      spec_error.message =
+          "'" + n->name + "' is not a registered adapter (adapters: " +
+          JoinedDecoratorNames() + "); --spec takes an adapter-only stack";
+      if (error != nullptr) *error = spec_error.Render();
+      return "";
+    }
+    if (info.wants_count && (!n->has_count || n->count == 0)) {
+      spec_error.pos = n->pos;
+      spec_error.message = "adapter '" + n->name +
+                           "' needs a shard count >= 1 (e.g. " + n->name +
+                           "4)";
+      if (error != nullptr) *error = spec_error.Render();
+      return "";
+    }
+    if (!info.wants_count && n->has_count) {
+      spec_error.pos = n->pos;
+      spec_error.message =
+          "adapter '" + n->name + "' does not take a count suffix";
+      if (error != nullptr) *error = spec_error.Render();
+      return "";
+    }
+  }
+  return node->Canonical();
+}
+
+std::string IndexSpecGrammarHelp() {
+  EnsureBuiltinIndexDecorators();
+  std::string help;
+  help += "index spec grammar: <adapter>:...:<index>, adapters nest in any "
+          "order\n";
+  help += "  adapters:\n";
+  for (const std::string& usage : IndexDecoratorUsage()) {
+    help += "    " + usage + "\n";
+  }
+  help += "  indexes: " + JoinedBaseNames() + " (alias: ChaDATS = Chameleon)\n";
+  help += "  example: Sharded4:Durable(/tmp/d,fsync=everyN,n=64):Chameleon\n";
+  return help;
 }
 
 }  // namespace chameleon

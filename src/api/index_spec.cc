@@ -1,0 +1,235 @@
+#include "src/api/index_spec.h"
+
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace chameleon {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '+' || c == '_';
+}
+
+/// Option values exclude the grammar's structural characters and
+/// whitespace; everything else (paths with '/', '.', '-') passes
+/// through verbatim.
+bool IsValueChar(char c) {
+  return c != '(' && c != ')' && c != ',' && c != '=' && c != ':' &&
+         !std::isspace(static_cast<unsigned char>(c));
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, DecoratorInfo, std::less<>> decorators;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Recursive-descent parser over the grammar in index_spec.h. `pos`
+/// always points at the next unconsumed character; every failure
+/// records the offset it happened at.
+struct Parser {
+  std::string_view spec;
+  size_t pos = 0;
+  SpecError* error;
+
+  std::nullptr_t Fail(size_t at, std::string message) {
+    error->pos = at;
+    error->message = std::move(message);
+    return nullptr;
+  }
+
+  std::unique_ptr<SpecNode> ParseChain() {
+    std::unique_ptr<SpecNode> node = ParseElement();
+    if (node == nullptr) return nullptr;
+    if (pos < spec.size() && spec[pos] == ':') {
+      ++pos;
+      node->inner = ParseChain();
+      if (node->inner == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  std::unique_ptr<SpecNode> ParseElement() {
+    const size_t start = pos;
+    while (pos < spec.size() && IsNameChar(spec[pos])) ++pos;
+    if (pos == start) {
+      if (pos >= spec.size()) {
+        return Fail(pos, "expected an index or adapter name");
+      }
+      return Fail(pos, std::string("unexpected character '") + spec[pos] +
+                           "' where a name should start");
+    }
+    auto node = std::make_unique<SpecNode>();
+    node->pos = start;
+    std::string token(spec.substr(start, pos - start));
+    // Count-suffix split ("Sharded4" -> Sharded, 4): only when the
+    // alpha prefix is a registered adapter that wants a count, so base
+    // names ending in digits stay whole tokens.
+    if (!GetIndexDecorator(token)) {
+      size_t digits = token.size();
+      while (digits > 0 &&
+             std::isdigit(static_cast<unsigned char>(token[digits - 1]))) {
+        --digits;
+      }
+      if (digits > 0 && digits < token.size()) {
+        const std::string prefix = token.substr(0, digits);
+        DecoratorInfo info;
+        if (GetIndexDecorator(prefix, &info) && info.wants_count) {
+          node->has_count = true;
+          node->count = std::stoull(token.substr(digits));
+          token = prefix;
+        }
+      }
+    }
+    node->name = std::move(token);
+    if (pos < spec.size() && spec[pos] == '(') {
+      if (!ParseArgs(node.get())) return nullptr;
+    }
+    return node;
+  }
+
+  bool ParseArgs(SpecNode* node) {
+    ++pos;  // consume '('
+    if (pos < spec.size() && spec[pos] == ')') {
+      ++pos;  // empty argument list: "Durable()"
+      return true;
+    }
+    while (true) {
+      SpecOption option;
+      option.pos = pos;
+      std::string first = ParseValue();
+      if (pos < spec.size() && spec[pos] == '=') {
+        if (first.empty()) {
+          Fail(option.pos, "expected an option key before '='");
+          return false;
+        }
+        ++pos;
+        option.key = std::move(first);
+        option.value = ParseValue();
+        if (option.value.empty()) {
+          Fail(pos, "missing value for option '" + option.key + "'");
+          return false;
+        }
+      } else {
+        if (first.empty()) {
+          Fail(pos, pos < spec.size()
+                        ? std::string("unexpected character '") + spec[pos] +
+                              "' in argument list"
+                        : std::string("unclosed '(' in argument list"));
+          return false;
+        }
+        option.value = std::move(first);
+      }
+      node->options.push_back(std::move(option));
+      if (pos >= spec.size()) {
+        Fail(pos, "unclosed '(' in argument list");
+        return false;
+      }
+      if (spec[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (spec[pos] == ')') {
+        ++pos;
+        return true;
+      }
+      Fail(pos, std::string("expected ',' or ')' in argument list, got '") +
+                    spec[pos] + "'");
+      return false;
+    }
+  }
+
+  std::string ParseValue() {
+    const size_t start = pos;
+    while (pos < spec.size() && IsValueChar(spec[pos])) ++pos;
+    return std::string(spec.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+std::string SpecError::Render() const {
+  return "index spec error at position " + std::to_string(pos) + ": " +
+         message;
+}
+
+std::string SpecNode::Canonical() const {
+  std::string out = name;
+  if (has_count) out += std::to_string(count);
+  if (!options.empty()) {
+    out += '(';
+    for (size_t i = 0; i < options.size(); ++i) {
+      if (i > 0) out += ',';
+      if (!options[i].key.empty()) {
+        out += options[i].key;
+        out += '=';
+      }
+      out += options[i].value;
+    }
+    out += ')';
+  }
+  if (inner != nullptr) {
+    out += ':';
+    out += inner->Canonical();
+  }
+  return out;
+}
+
+std::unique_ptr<SpecNode> SpecNode::Clone() const {
+  auto copy = std::make_unique<SpecNode>();
+  copy->name = name;
+  copy->has_count = has_count;
+  copy->count = count;
+  copy->options = options;
+  copy->pos = pos;
+  if (inner != nullptr) copy->inner = inner->Clone();
+  return copy;
+}
+
+void RegisterIndexDecorator(std::string name, DecoratorInfo info) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.decorators[std::move(name)] = std::move(info);
+}
+
+bool GetIndexDecorator(std::string_view name, DecoratorInfo* info) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.decorators.find(name);
+  if (it == registry.decorators.end()) return false;
+  if (info != nullptr) *info = it->second;
+  return true;
+}
+
+std::vector<std::string> IndexDecoratorUsage() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> usage;
+  usage.reserve(registry.decorators.size());
+  for (const auto& [name, info] : registry.decorators) {
+    usage.push_back(info.usage);
+  }
+  return usage;
+}
+
+std::unique_ptr<SpecNode> ParseIndexSpec(std::string_view spec,
+                                         SpecError* error) {
+  EnsureBuiltinIndexDecorators();
+  Parser parser{spec, 0, error};
+  std::unique_ptr<SpecNode> node = parser.ParseChain();
+  if (node == nullptr) return nullptr;
+  if (parser.pos != spec.size()) {
+    parser.Fail(parser.pos, std::string("unexpected character '") +
+                                spec[parser.pos] + "' after spec element");
+    return nullptr;
+  }
+  return node;
+}
+
+}  // namespace chameleon

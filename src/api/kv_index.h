@@ -81,6 +81,13 @@ class KvIndex {
 
   /// Short display name ("ALEX", "Chameleon", ...).
   virtual std::string_view Name() const = 0;
+
+  /// Restores the index from its durable state instead of BulkLoad.
+  /// Only meaningful for stacks with a durable layer (DurableIndex
+  /// recovers snapshot + WAL; ShardedIndex recovers every shard, in
+  /// parallel, when its shards are durable). The default — a purely
+  /// volatile index has nothing to recover from — returns false.
+  virtual bool Recover() { return false; }
 };
 
 }  // namespace chameleon

@@ -1,25 +1,125 @@
 #include "src/engine/sharded_index.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
-#include "src/api/index_factory.h"
 #include "src/obs/stats.h"
+#include "src/util/crc32c.h"
 
 namespace chameleon {
+namespace {
+
+// shards.meta layout (raw little-endian, like every storage file):
+//   [magic u32 "CSHM"][version u32][shards u64][n_lower u64]
+//   [lower keys u64 x n_lower][crc32c u32 over everything before]
+// Written atomically (tmp + rename) at BulkLoad so a crash never leaves
+// a half-written routing table; recovery rejects any checksum or shard
+// count mismatch rather than guessing boundaries.
+constexpr uint32_t kShardMetaMagic = 0x4D485343;  // "CSHM"
+constexpr uint32_t kShardMetaVersion = 1;
+
+/// Root directory of the first Durable element in the template chain
+/// (under the *outer* build context — the per-shard suffixes live below
+/// it), or "" when the shards are volatile.
+std::string DurableRootOf(const SpecNode& spec, const SpecBuildContext& ctx) {
+  for (const SpecNode* node = &spec; node != nullptr;
+       node = node->inner.get()) {
+    if (node->name != "Durable") continue;
+    for (const SpecOption& option : node->options) {
+      if (option.key.empty() && !option.value.empty()) {
+        return option.value + ctx.dir_suffix;
+      }
+    }
+    return "";
+  }
+  return "";
+}
+
+void SyncDirOf(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::unique_ptr<KvIndex> BuildShardedFromSpec(const SpecNode& node,
+                                              const SpecBuildContext& ctx,
+                                              SpecError* error) {
+  if (!node.options.empty()) {
+    error->pos = node.options.front().pos;
+    error->message =
+        "Sharded takes no (...) options; the shard count is a name suffix "
+        "(Sharded4)";
+    return nullptr;
+  }
+  auto index =
+      std::make_unique<ShardedIndex>(*node.inner, node.count, ctx, error);
+  if (!index->shard_valid()) return nullptr;
+  return index;
+}
+
+}  // namespace
+
+void RegisterShardedDecorator() {
+  RegisterIndexDecorator(
+      "Sharded",
+      DecoratorInfo{
+          BuildShardedFromSpec, /*wants_count=*/true,
+          "Sharded<N>:<spec>   range-partition across N shards, each shard "
+          "built from its own copy of <spec> (durable inners root at "
+          "<dir>/shard-<i>)"});
+}
 
 ShardedIndex::ShardedIndex(std::string_view inner_name, size_t shards) {
-  shards_.reserve(std::max<size_t>(1, shards));
-  for (size_t i = 0; i < std::max<size_t>(1, shards); ++i) {
-    shards_.push_back(MakeIndex(inner_name));
+  SpecError error;
+  const std::unique_ptr<SpecNode> spec = ParseIndexSpec(inner_name, &error);
+  Init(spec.get(), shards, SpecBuildContext{}, &error, inner_name);
+}
+
+ShardedIndex::ShardedIndex(const SpecNode& inner_spec, size_t shards,
+                           const SpecBuildContext& ctx, SpecError* error) {
+  Init(&inner_spec, shards, ctx, error, inner_spec.Canonical());
+}
+
+void ShardedIndex::Init(const SpecNode* inner_spec, size_t shards,
+                        const SpecBuildContext& ctx, SpecError* error,
+                        std::string_view fallback_name) {
+  const size_t n_shards = std::max<size_t>(1, shards);
+  shards_.reserve(n_shards);
+  for (size_t i = 0; i < n_shards && inner_spec != nullptr; ++i) {
+    SpecBuildContext shard_ctx = ctx;
+    if (n_shards > 1) {
+      shard_ctx.dir_suffix += "/shard-" + std::to_string(i);
+    }
+    std::unique_ptr<KvIndex> shard =
+        BuildIndexSpec(*inner_spec, shard_ctx, error);
+    if (shard == nullptr) break;
+    shards_.push_back(std::move(shard));
   }
-  name_ = shards_.front() != nullptr
-              ? std::string(shards_.front()->Name())
-              : std::string(inner_name);
+  if (shards_.size() != n_shards) {
+    // Hollow adapter: the inner spec was rejected (error already set).
+    shards_.clear();
+    shards_.emplace_back(nullptr);
+  }
+  name_ = shards_.front() != nullptr ? std::string(shards_.front()->Name())
+                                     : std::string(fallback_name);
   if (shards_.size() > 1) {
     name_ += "/shards=" + std::to_string(shards_.size());
+    if (inner_spec != nullptr && shards_.front() != nullptr) {
+      const std::string root = DurableRootOf(*inner_spec, ctx);
+      if (!root.empty()) meta_path_ = root + "/shards.meta";
+    }
   }
 }
 
@@ -42,6 +142,69 @@ size_t ShardedIndex::ShardFor(Key key) const {
   return static_cast<size_t>(
       std::upper_bound(lower_.begin() + 1, lower_.end(), key) -
       lower_.begin() - 1);
+}
+
+bool ShardedIndex::SaveShardMeta() const {
+  std::vector<uint8_t> buf(4 + 4 + 8 + 8 + lower_.size() * 8 + 4);
+  uint8_t* p = buf.data();
+  const uint64_t n_shards = shards_.size();
+  const uint64_t n_lower = lower_.size();
+  std::memcpy(p, &kShardMetaMagic, 4);
+  std::memcpy(p + 4, &kShardMetaVersion, 4);
+  std::memcpy(p + 8, &n_shards, 8);
+  std::memcpy(p + 16, &n_lower, 8);
+  for (size_t i = 0; i < lower_.size(); ++i) {
+    std::memcpy(p + 24 + i * 8, &lower_[i], 8);
+  }
+  const uint32_t crc = Crc32c(p, buf.size() - 4);
+  std::memcpy(p + buf.size() - 4, &crc, 4);
+
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(meta_path_).parent_path(), ec);
+  const std::string tmp = meta_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool written = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool flushed =
+      written && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!flushed) return false;
+  std::filesystem::rename(tmp, meta_path_, ec);
+  if (ec) return false;
+  SyncDirOf(meta_path_);
+  return true;
+}
+
+bool ShardedIndex::LoadShardMeta() {
+  std::FILE* f = std::fopen(meta_path_.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buf(sz > 0 ? static_cast<size_t>(sz) : 0);
+  const bool read_ok =
+      !buf.empty() && std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!read_ok || buf.size() < 4 + 4 + 8 + 8 + 4) return false;
+
+  uint32_t crc = 0;
+  std::memcpy(&crc, buf.data() + buf.size() - 4, 4);
+  if (Crc32c(buf.data(), buf.size() - 4) != crc) return false;
+  uint32_t magic = 0, version = 0;
+  uint64_t n_shards = 0, n_lower = 0;
+  std::memcpy(&magic, buf.data(), 4);
+  std::memcpy(&version, buf.data() + 4, 4);
+  std::memcpy(&n_shards, buf.data() + 8, 8);
+  std::memcpy(&n_lower, buf.data() + 16, 8);
+  if (magic != kShardMetaMagic || version != kShardMetaVersion) return false;
+  if (n_shards != shards_.size()) return false;  // spec/meta disagreement
+  if (buf.size() != 24 + n_lower * 8 + 4) return false;
+  lower_.assign(n_lower, kMinKey);
+  for (size_t i = 0; i < n_lower; ++i) {
+    std::memcpy(&lower_[i], buf.data() + 24 + i * 8, 8);
+  }
+  return true;
 }
 
 void ShardedIndex::BulkLoad(std::span<const KeyValue> data) {
@@ -89,6 +252,39 @@ void ShardedIndex::BulkLoad(std::span<const KeyValue> data) {
   for (std::thread& t : builders) t.join();
   CHAMELEON_STAT_ADD(kShardBuilds, n_shards);
   if (first_error) std::rethrow_exception(first_error);
+
+  // Durable shards persist the routing table next to their per-shard
+  // stacks so a fresh instance can Recover() without re-deriving the
+  // quantiles (an empty shard's range is unrecoverable from its data).
+  if (!meta_path_.empty() && !SaveShardMeta()) {
+    std::fprintf(stderr, "WARNING: ShardedIndex: cannot write %s\n",
+                 meta_path_.c_str());
+  }
+}
+
+bool ShardedIndex::Recover() {
+  if (!shard_valid()) return false;
+  if (shards_.size() == 1) return shards_[0]->Recover();
+  if (meta_path_.empty() || !LoadShardMeta()) return false;
+
+  // Shards own disjoint key ranges and private WAL+snapshot stacks, so
+  // their recoveries are independent — run them in parallel with the
+  // same dedicated-thread pattern as BulkLoad (inner replays may fan
+  // out on the global pool).
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> recoverers;
+  recoverers.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    recoverers.emplace_back([&ok, &shard] {
+      try {
+        if (!shard->Recover()) ok.store(false, std::memory_order_relaxed);
+      } catch (...) {
+        ok.store(false, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : recoverers) t.join();
+  return ok.load(std::memory_order_relaxed);
 }
 
 bool ShardedIndex::Lookup(Key key, Value* value) const {

@@ -7,24 +7,36 @@
 #include <string_view>
 #include <vector>
 
+#include "src/api/index_spec.h"
 #include "src/api/kv_index.h"
 
 namespace chameleon {
 
 /// Serving-engine layer: a KvIndex adapter that range-partitions the key
-/// space across N inner indexes (the "shards"), each built by the
-/// existing factory. Shard boundaries are the bulk-load key quantiles
-/// (shard i owns data[i*n/N .. (i+1)*n/N)), so shards start out balanced
-/// regardless of the key distribution; routing is one branchless
+/// space across N inner indexes (the "shards"), each built independently
+/// from an inner *spec template*. Shard boundaries are the bulk-load key
+/// quantiles (shard i owns data[i*n/N .. (i+1)*n/N)), so shards start out
+/// balanced regardless of the key distribution; routing is one branchless
 /// upper_bound over the N-1 boundary keys, after which every operation
 /// is delegated to exactly one inner index. Cross-shard RangeScans
 /// stitch per-shard results in shard order (shards partition the key
 /// space in order, so the concatenation is already sorted).
 ///
+/// Because each shard instantiates the whole inner spec, a durable inner
+/// ("Sharded4:Durable(d):Chameleon") gives every shard its own WAL +
+/// snapshot stack rooted at d/shard-<i> — the per-shard build context
+/// appends "/shard-<i>" and the Durable adapter roots itself under it.
+/// The quantile boundaries are persisted alongside (d/shards.meta,
+/// checksummed, written atomically at BulkLoad) so a freshly constructed
+/// stack can Recover(): the meta restores routing, then all shards
+/// replay their own WALs in parallel. Shards own disjoint key ranges, so
+/// per-shard recovery needs no cross-shard ordering.
+///
 /// With shards == 1 every call is a direct pass-through to the single
-/// inner index — bit-identical results, Stats() and SizeBytes() — so a
-/// sharded deployment can always be collapsed for apples-to-apples
-/// comparison against the historical single-index baselines.
+/// inner index — bit-identical results, Stats() and SizeBytes(), and an
+/// unmodified directory layout — so a sharded deployment can always be
+/// collapsed for apples-to-apples comparison against the historical
+/// single-index baselines.
 ///
 /// Thread model: BulkLoad builds shards in parallel (each shard build
 /// fans its heavy work out on the global ThreadPool; see the .cc).
@@ -36,10 +48,18 @@ namespace chameleon {
 /// writers by key range gets shard-level write parallelism for free.
 class ShardedIndex final : public KvIndex {
  public:
-  /// Creates `shards` inner indexes named `inner_name` via MakeIndex.
+  /// Creates `shards` inner indexes from the spec `inner_name` names.
   /// Prefer MakeShardedIndex (below), which returns nullptr on unknown
   /// names instead of constructing a hollow adapter.
   ShardedIndex(std::string_view inner_name, size_t shards);
+
+  /// Spec-template form used by the "Sharded<N>" decorator: each shard
+  /// builds its own copy of `inner_spec` under a per-shard build
+  /// context (ctx.dir_suffix + "/shard-<i>" when shards > 1). On an
+  /// inner build failure the adapter is hollow (shard_valid() false)
+  /// and `*error` explains why.
+  ShardedIndex(const SpecNode& inner_spec, size_t shards,
+               const SpecBuildContext& ctx, SpecError* error);
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Lookup(Key key, Value* value) const override;
@@ -60,11 +80,19 @@ class ShardedIndex final : public KvIndex {
   IndexStats Stats() const override;
   std::string_view Name() const override;
 
+  /// Restores a durable sharded stack: loads the persisted quantile
+  /// boundaries (shards.meta under the inner spec's Durable root), then
+  /// recovers every shard in parallel — each shard owns its own WAL +
+  /// snapshot, so recoveries are independent. Returns false when the
+  /// inner stacks are not durable, the meta is missing/corrupt or its
+  /// shard count disagrees with this spec, or any shard fails.
+  bool Recover() override;
+
   size_t num_shards() const { return shards_.size(); }
   const KvIndex& shard(size_t i) const { return *shards_[i]; }
   KvIndex& shard(size_t i) { return *shards_[i]; }
-  /// False when the inner name was unknown to the factory (the shards
-  /// are null and the adapter must not be used).
+  /// False when the inner spec was rejected (the shards are null and
+  /// the adapter must not be used).
   bool shard_valid() const { return shards_.front() != nullptr; }
 
   /// Index of the shard owning `key` (exposed for tests and for drivers
@@ -72,6 +100,12 @@ class ShardedIndex final : public KvIndex {
   size_t ShardFor(Key key) const;
 
  private:
+  void Init(const SpecNode* inner_spec, size_t shards,
+            const SpecBuildContext& ctx, SpecError* error,
+            std::string_view fallback_name);
+  bool SaveShardMeta() const;
+  bool LoadShardMeta();
+
   std::string name_;
   std::vector<std::unique_ptr<KvIndex>> shards_;
   /// lower_[i] is the smallest key routed to shard i (i >= 1; shard 0
@@ -79,15 +113,23 @@ class ShardedIndex final : public KvIndex {
   /// quantiles; immutable afterwards, so lock-free routing is safe under
   /// any reader concurrency. Empty until BulkLoad with shards > 1.
   std::vector<Key> lower_;
+  /// "<durable root>/shards.meta" when shards > 1 and the inner spec
+  /// roots a Durable stack; empty otherwise (volatile shards have no
+  /// routing state to persist).
+  std::string meta_path_;
 };
 
-/// Factory entry point for the engine layer: "inner_name" sharded
-/// `shards` ways. Returns nullptr when the inner name is unknown or
-/// shards == 0. MakeIndex also accepts the spelled-out spec
+/// Factory entry point for the engine layer: the spec `inner_name`
+/// sharded `shards` ways. Returns nullptr when the inner spec is
+/// invalid or shards == 0. MakeIndex also accepts the spelled-out spec
 /// "Sharded<N>:<inner>" (e.g. "Sharded4:Chameleon") so name-driven
 /// sweeps (benches, conformance suite) can route through the engine.
 std::unique_ptr<KvIndex> MakeShardedIndex(std::string_view inner_name,
                                           size_t shards);
+
+/// Registers the "Sharded<N>" decorator in the index-spec registry.
+/// Called by EnsureBuiltinIndexDecorators(); not for direct use.
+void RegisterShardedDecorator();
 
 }  // namespace chameleon
 

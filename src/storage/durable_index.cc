@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
 #include "src/api/index_factory.h"
+#include "src/api/index_spec.h"
+#include "src/engine/sharded_index.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
 #include "src/util/timer.h"
@@ -226,6 +229,97 @@ std::unique_ptr<KvIndex> MakeDurableIndex(std::string_view inner_spec,
   if (inner == nullptr) return nullptr;
   return std::make_unique<DurableIndex>(std::move(inner), std::move(dir),
                                         options);
+}
+
+namespace {
+
+/// Spec builder for "Durable(<dir>[,fsync=always|everyN|none][,n=<N>])".
+/// The positional dir gets the build context's suffix appended, which
+/// is how an outer Sharded<N> roots each shard's stack at
+/// <dir>/shard-<i>.
+std::unique_ptr<KvIndex> BuildDurableFromSpec(const SpecNode& node,
+                                              const SpecBuildContext& ctx,
+                                              SpecError* error) {
+  std::string dir;
+  DurableOptions options;
+  for (const SpecOption& option : node.options) {
+    if (option.key.empty()) {
+      if (!dir.empty()) {
+        error->pos = option.pos;
+        error->message =
+            "Durable takes one positional argument (the directory)";
+        return nullptr;
+      }
+      dir = option.value;
+    } else if (option.key == "fsync") {
+      if (option.value == "always") {
+        options.wal.fsync = FsyncPolicy::kAlways;
+      } else if (option.value == "everyN") {
+        options.wal.fsync = FsyncPolicy::kEveryN;
+      } else if (option.value == "none") {
+        options.wal.fsync = FsyncPolicy::kNone;
+      } else {
+        error->pos = option.pos;
+        error->message = "bad fsync value '" + option.value +
+                         "' (expected always, everyN, or none)";
+        return nullptr;
+      }
+    } else if (option.key == "n") {
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(option.value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        error->pos = option.pos;
+        error->message =
+            "bad n value '" + option.value + "' (expected a positive integer)";
+        return nullptr;
+      }
+      options.wal.fsync_every_n = static_cast<size_t>(n);
+    } else {
+      error->pos = option.pos;
+      error->message = "unknown Durable option '" + option.key +
+                       "' (options: fsync=always|everyN|none, n=<N>)";
+      return nullptr;
+    }
+  }
+  if (dir.empty()) {
+    error->pos = node.pos;
+    error->message = "Durable needs a directory: Durable(<dir>):<spec>";
+    return nullptr;
+  }
+  dir += ctx.dir_suffix;
+  std::unique_ptr<KvIndex> inner = BuildIndexSpec(*node.inner, ctx, error);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<DurableIndex>(std::move(inner), std::move(dir),
+                                        options);
+}
+
+}  // namespace
+
+void RegisterDurableDecorator() {
+  RegisterIndexDecorator(
+      "Durable",
+      DecoratorInfo{
+          BuildDurableFromSpec, /*wants_count=*/false,
+          "Durable(<dir>[,fsync=always|everyN|none][,n=<N>]):<spec>   WAL + "
+          "snapshot durability rooted at <dir> (fsync default always; n is "
+          "the everyN window, default 64)"});
+}
+
+bool SimulateCrashStack(KvIndex* index) {
+  if (index == nullptr) return false;
+  if (auto* durable = dynamic_cast<DurableIndex*>(index)) {
+    durable->SimulateCrash();
+    return true;
+  }
+  if (auto* sharded = dynamic_cast<ShardedIndex*>(index)) {
+    bool crashed = false;
+    for (size_t i = 0; i < sharded->num_shards(); ++i) {
+      crashed = SimulateCrashStack(&sharded->shard(i)) || crashed;
+    }
+    return crashed;
+  }
+  return false;
 }
 
 }  // namespace chameleon

@@ -91,7 +91,7 @@ class DurableIndex final : public KvIndex {
   /// replay. Call on a freshly constructed DurableIndex instead of
   /// BulkLoad. Returns false when no valid snapshot exists or the WAL
   /// is corrupt mid-log.
-  bool Recover();
+  bool Recover() override;
 
   /// Synchronous checkpoint: rotate WAL, snapshot atomically, truncate
   /// obsolete segments and older snapshots. Blocks writers until the
@@ -146,10 +146,24 @@ class DurableIndex final : public KvIndex {
 /// `inner_spec` (any name MakeIndex accepts, including
 /// "Sharded<N>:<inner>") in a DurableIndex rooted at `dir`. Returns
 /// nullptr when the inner spec is unknown. MakeIndex also accepts the
-/// spelled-out spec "Durable(<dir>):<inner_spec>".
+/// spelled-out spec
+/// "Durable(<dir>[,fsync=always|everyN|none][,n=<N>]):<inner_spec>".
 std::unique_ptr<KvIndex> MakeDurableIndex(std::string_view inner_spec,
                                           std::string dir,
                                           DurableOptions options = {});
+
+/// Registers the "Durable(...)" decorator in the index-spec registry.
+/// Called by EnsureBuiltinIndexDecorators(); not for direct use.
+void RegisterDurableDecorator();
+
+/// Simulates a crash on every durable layer in an index stack built
+/// from a spec: DurableIndex crashes directly, ShardedIndex recurses
+/// into each shard, other adapters/leaves are skipped. Returns true
+/// when at least one durable layer was crashed (false means the stack
+/// is volatile and there is nothing to recover). Like SimulateCrash,
+/// the stack must not be used afterwards — build a fresh stack from
+/// the same spec and Recover() it.
+bool SimulateCrashStack(KvIndex* index);
 
 }  // namespace chameleon
 

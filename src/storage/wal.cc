@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "src/obs/stats.h"
 #include "src/util/crc32c.h"
@@ -56,26 +57,33 @@ std::vector<uint64_t> Wal::ListSegments() const {
   return seqs;
 }
 
-bool Wal::OpenSegment(uint64_t seq) {
+bool Wal::OpenSegmentLocked(uint64_t seq) {
   file_ = std::fopen(SegmentPath(seq).c_str(), "wb");
-  if (file_ == nullptr) return false;
-  current_seq_ = seq;
-  segment_bytes_written_ = 0;
-  synced_segment_bytes_ = 0;
-  appends_since_sync_ = 0;
-  bool ok = std::fwrite(&kSegmentMagic, 4, 1, file_) == 1 &&
-            std::fwrite(&kSegmentVersion, 4, 1, file_) == 1 &&
-            std::fwrite(&seq, 8, 1, file_) == 1;
-  if (!ok) {
-    Close();
+  if (file_ == nullptr) {
+    open_.store(false, std::memory_order_release);
     return false;
   }
-  segment_bytes_written_ = kSegmentHeaderSize;
+  current_seq_.store(seq, std::memory_order_release);
+  segment_bytes_written_.store(0, std::memory_order_release);
+  synced_segment_bytes_ = 0;
+  appends_since_sync_ = 0;
+  const bool ok = std::fwrite(&kSegmentMagic, 4, 1, file_) == 1 &&
+                  std::fwrite(&kSegmentVersion, 4, 1, file_) == 1 &&
+                  std::fwrite(&seq, 8, 1, file_) == 1;
+  if (!ok) {
+    std::fclose(file_);
+    file_ = nullptr;
+    open_.store(false, std::memory_order_release);
+    return false;
+  }
+  segment_bytes_written_.store(kSegmentHeaderSize, std::memory_order_release);
+  open_.store(true, std::memory_order_release);
   SyncDir(dir_);
   return true;
 }
 
 bool Wal::Open() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
   if (file_ != nullptr) return true;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -83,89 +91,162 @@ bool Wal::Open() {
   // Never append into a possibly-torn tail: start a fresh segment after
   // the highest existing one.
   const std::vector<uint64_t> seqs = ListSegments();
-  return OpenSegment(seqs.empty() ? 0 : seqs.back() + 1);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  return OpenSegmentLocked(seqs.empty() ? 0 : seqs.back() + 1);
 }
 
-void Wal::Close() {
+void Wal::CloseLocked() {
   if (file_ == nullptr) return;
   std::fflush(file_);
   if (options_.fsync != FsyncPolicy::kNone) {
     ::fsync(::fileno(file_));
-    synced_segment_bytes_ = segment_bytes_written_;
+    synced_segment_bytes_ =
+        segment_bytes_written_.load(std::memory_order_relaxed);
+    // The close fsync commits every record buffered so far, so pending
+    // CommitUpTo callers (and a Sync after a rotation) need no second
+    // sync of the retired segment.
+    committed_records_.store(appended_records_.load(std::memory_order_relaxed),
+                             std::memory_order_release);
   }
   std::fclose(file_);
   file_ = nullptr;
+  open_.store(false, std::memory_order_release);
 }
 
-bool Wal::DoSync() {
+void Wal::Close() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  CloseLocked();
+}
+
+bool Wal::DoSyncLocked(uint64_t flushed_bytes) {
   if (file_ == nullptr) return false;
   if (std::fflush(file_) != 0) return false;
-  appends_since_sync_ = 0;
+  const int64_t delay_us = sync_delay_us_.load(std::memory_order_relaxed);
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
   if (fsync_fail_in_ > 0 && --fsync_fail_in_ == 0) {
     return false;  // injected fault: the k-th fsync "fails"
   }
   if (::fsync(::fileno(file_)) != 0) return false;
-  synced_segment_bytes_ = segment_bytes_written_;
+  // `flushed_bytes` was captured before the fflush, so it only counts
+  // records fully buffered by then — a conservative crash barrier when
+  // appenders raced the flush.
+  if (flushed_bytes > synced_segment_bytes_) {
+    synced_segment_bytes_ = flushed_bytes;
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
   CHAMELEON_STAT_INC(kWalFsyncs);
   return true;
 }
 
-bool Wal::Sync() { return DoSync(); }
+bool Wal::CommitUpTo(uint64_t seq) {
+  // Fast path: another appender's fsync (or a segment close) already
+  // covered this commit sequence number.
+  if (committed_records_.load(std::memory_order_acquire) >= seq) return true;
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  if (committed_records_.load(std::memory_order_relaxed) >= seq) return true;
+  // Leader: commit everything appended so far in one fsync. Appends
+  // bump appended_records_ only after their single fwrite completes, so
+  // every record below `target` is in the stdio buffer before our
+  // fflush.
+  const uint64_t target = appended_records_.load(std::memory_order_acquire);
+  const uint64_t flushed =
+      segment_bytes_written_.load(std::memory_order_acquire);
+  if (!DoSyncLocked(flushed)) return false;
+  committed_records_.store(target, std::memory_order_release);
+  return true;
+}
+
+bool Wal::Sync() {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    if (file_ == nullptr) return false;
+    appends_since_sync_ = 0;
+    seq = appended_records_.load(std::memory_order_relaxed);
+  }
+  if (seq == 0) return true;
+  return CommitUpTo(seq);
+}
 
 bool Wal::Rotate() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
   if (file_ == nullptr) return false;
-  const uint64_t next = current_seq_ + 1;
-  Close();
-  return OpenSegment(next);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  const uint64_t next = current_seq_.load(std::memory_order_relaxed) + 1;
+  CloseLocked();
+  return OpenSegmentLocked(next);
 }
 
 bool Wal::Append(uint8_t type, const void* payload, size_t payload_len) {
-  if (file_ == nullptr) return false;
-  if (segment_bytes_written_ >= options_.segment_bytes && !Rotate()) {
-    return false;
-  }
-  // Assemble [len][type][payload] so one checksum covers all of it.
-  const uint32_t len = static_cast<uint32_t>(payload_len);
-  uint8_t stack_buf[64];
-  std::vector<uint8_t> heap_buf;
-  uint8_t* buf = stack_buf;
-  const size_t body = 4 + 1 + payload_len;
-  if (body > sizeof(stack_buf)) {
-    heap_buf.resize(body);
-    buf = heap_buf.data();
-  }
-  std::memcpy(buf, &len, 4);
-  buf[4] = type;
-  if (payload_len > 0) std::memcpy(buf + 5, payload, payload_len);
-  const uint32_t crc = Crc32c(buf, body);
-
-  if (std::fwrite(&crc, 4, 1, file_) != 1 ||
-      std::fwrite(buf, 1, body, file_) != body) {
-    return false;
-  }
   const size_t record_bytes = kRecordHeaderSize + payload_len;
-  segment_bytes_written_ += record_bytes;
-  appended_bytes_ += record_bytes;
+  uint64_t my_seq = 0;
+  bool need_commit = false;
+  {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    if (file_ == nullptr) return false;
+    if (segment_bytes_written_.load(std::memory_order_relaxed) >=
+        options_.segment_bytes) {
+      std::lock_guard<std::mutex> sync_lock(sync_mu_);
+      const uint64_t next = current_seq_.load(std::memory_order_relaxed) + 1;
+      CloseLocked();
+      if (!OpenSegmentLocked(next)) return false;
+    }
+    // Assemble the whole record [crc][len][type][payload] and emit it
+    // with a single fwrite: a concurrent group-commit leader may fflush
+    // at any moment, and one write keeps half-assembled records out of
+    // the flushed prefix. The checksum covers [len][type][payload].
+    const uint32_t len = static_cast<uint32_t>(payload_len);
+    uint8_t stack_buf[64];
+    std::vector<uint8_t> heap_buf;
+    uint8_t* buf = stack_buf;
+    if (record_bytes > sizeof(stack_buf)) {
+      heap_buf.resize(record_bytes);
+      buf = heap_buf.data();
+    }
+    std::memcpy(buf + 4, &len, 4);
+    buf[8] = type;
+    if (payload_len > 0) std::memcpy(buf + 9, payload, payload_len);
+    const uint32_t crc = Crc32c(buf + 4, 5 + payload_len);
+    std::memcpy(buf, &crc, 4);
+    if (std::fwrite(buf, 1, record_bytes, file_) != record_bytes) {
+      return false;
+    }
+    segment_bytes_written_.fetch_add(record_bytes, std::memory_order_release);
+    appended_bytes_.fetch_add(record_bytes, std::memory_order_relaxed);
+    // The commit sequence number: assigned after the buffered write, so
+    // a leader that reads appended_records_ == s knows records 1..s are
+    // all in the stdio buffer.
+    my_seq = appended_records_.fetch_add(1, std::memory_order_release) + 1;
+    switch (options_.fsync) {
+      case FsyncPolicy::kAlways:
+        need_commit = true;
+        break;
+      case FsyncPolicy::kEveryN:
+        if (++appends_since_sync_ >= options_.fsync_every_n) {
+          appends_since_sync_ = 0;
+          need_commit = true;
+        }
+        break;
+      case FsyncPolicy::kNone:
+        break;
+    }
+  }
   CHAMELEON_STAT_INC(kWalAppends);
   CHAMELEON_STAT_ADD(kWalBytes, record_bytes);
-
-  switch (options_.fsync) {
-    case FsyncPolicy::kAlways:
-      return DoSync();
-    case FsyncPolicy::kEveryN:
-      if (++appends_since_sync_ >= options_.fsync_every_n) return DoSync();
-      return true;
-    case FsyncPolicy::kNone:
-      return true;
-  }
+  if (need_commit) return CommitUpTo(my_seq);
   return true;
 }
 
 size_t Wal::TruncateBefore(uint64_t seq) {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
   size_t removed = 0;
+  const uint64_t live = current_seq_.load(std::memory_order_relaxed);
   for (uint64_t s : ListSegments()) {
     if (s >= seq) break;
-    if (file_ != nullptr && s == current_seq_) continue;  // never the live one
+    if (file_ != nullptr && s == live) continue;  // never the live one
     std::error_code ec;
     if (std::filesystem::remove(SegmentPath(s), ec)) ++removed;
   }
@@ -173,16 +254,29 @@ size_t Wal::TruncateBefore(uint64_t seq) {
   return removed;
 }
 
+void Wal::InjectFsyncFailure(size_t kth) {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  fsync_fail_in_ = kth;
+}
+
+void Wal::InjectSyncDelayForTest(std::chrono::microseconds delay) {
+  sync_delay_us_.store(delay.count(), std::memory_order_relaxed);
+}
+
 void Wal::SimulateCrash() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
   if (file_ == nullptr) return;
   // fclose flushes the stdio buffer to the kernel, so emulate the lost
   // page cache by truncating back to the last fsync barrier afterwards.
   // Earlier (closed) segments are assumed written back — a crash's
   // page-cache loss window in practice spans only recent writes.
-  const std::string path = SegmentPath(current_seq_);
+  const std::string path =
+      SegmentPath(current_seq_.load(std::memory_order_relaxed));
   const uint64_t keep = synced_segment_bytes_;
   std::fclose(file_);
   file_ = nullptr;
+  open_.store(false, std::memory_order_release);
   (void)TruncateFileTo(path, keep);
 }
 

@@ -1,9 +1,12 @@
 #ifndef CHAMELEON_STORAGE_WAL_H_
 #define CHAMELEON_STORAGE_WAL_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,7 +15,9 @@ namespace chameleon {
 
 /// When appended records are forced to stable storage.
 enum class FsyncPolicy : uint8_t {
-  kAlways,  ///< fflush + fsync after every append (no acked write is lost)
+  kAlways,  ///< commit (fflush + fsync) after every append (no acked
+            ///< write is lost); concurrent appenders share one fsync
+            ///< via the group-commit path
   kEveryN,  ///< fsync once per `fsync_every_n` appends (group commit)
   kNone,    ///< never fsync; data persists only via OS writeback / Close
 };
@@ -47,9 +52,20 @@ struct WalOptions {
 ///    checksum fails with nothing after it) -> torn tail from a crash
 ///    mid-append, replay stops cleanly before it (kOk).
 ///
-/// Thread model: single appender (matching the single-writer KvIndex
-/// contract); Replay and the maintenance calls are exclusive with
-/// appends. DurableIndex serializes them behind its write mutex.
+/// Thread model — group commit: Append is safe from multiple threads.
+/// An appender buffers its record (one fwrite, so a concurrent flush
+/// never sees half a record) and takes a commit sequence number under
+/// the append mutex, then — when its fsync policy demands durability —
+/// blocks in CommitUpTo: the first thread through the sync mutex
+/// becomes the *leader*, captures the latest appended sequence, and
+/// issues one fflush+fsync that commits every record buffered so far;
+/// followers find their sequence already committed and return without
+/// syncing. One fsync thus acks many writers (assert via kWalFsyncs <
+/// kWalAppends), while a single-threaded appender keeps exactly the
+/// historical one-fsync-per-policy-window behavior. Replay and the
+/// maintenance calls (Rotate/TruncateBefore/SimulateCrash) remain
+/// exclusive with appends; DurableIndex serializes them behind its
+/// write mutex.
 class Wal {
  public:
   enum class ReplayStatus { kOk, kCorrupt, kIoError };
@@ -74,14 +90,18 @@ class Wal {
   /// segment. Open() may be called again afterwards.
   void Close();
 
-  /// Appends one record and applies the fsync policy. Returns false on
-  /// write or (policy-required) fsync failure — the record is then not
+  /// Appends one record and applies the fsync policy (for kAlways, and
+  /// kEveryN at a window boundary, this blocks until the record's
+  /// commit sequence number is covered by an fsync — possibly another
+  /// appender's; see the class comment). Returns false on write or
+  /// (policy-required) commit failure — the record is then not
   /// acknowledged; it may still surface during replay, which callers
   /// must treat as at-least-once for unacknowledged tail ops.
   bool Append(uint8_t type, const void* payload, size_t payload_len);
 
-  /// Forces buffered appends to stable storage now (a group-commit
-  /// barrier under kEveryN/kNone). Returns false on failure.
+  /// Forces every record appended so far to stable storage (an explicit
+  /// group-commit barrier under kEveryN/kNone). Returns true without
+  /// syncing when everything appended is already committed.
   bool Sync();
 
   /// Closes the current segment and starts the next one. Checkpoints
@@ -101,10 +121,25 @@ class Wal {
 
   /// Sequence number of the segment currently being appended to (the
   /// first segment a snapshot taken *now* would not cover).
-  uint64_t current_seq() const { return current_seq_; }
+  uint64_t current_seq() const {
+    return current_seq_.load(std::memory_order_acquire);
+  }
   /// Bytes appended to the log since Open() (record bytes, all segments).
-  uint64_t appended_bytes() const { return appended_bytes_; }
-  bool is_open() const { return file_ != nullptr; }
+  uint64_t appended_bytes() const {
+    return appended_bytes_.load(std::memory_order_acquire);
+  }
+  /// Records appended (the latest commit sequence number).
+  uint64_t appended_records() const {
+    return appended_records_.load(std::memory_order_acquire);
+  }
+  /// Records covered by an fsync (the committed sequence number).
+  uint64_t committed_records() const {
+    return committed_records_.load(std::memory_order_acquire);
+  }
+  /// fsyncs issued by this Wal (local mirror of kWalFsyncs, available
+  /// under CHAMELEON_NO_STATS builds too).
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_acquire); }
+  bool is_open() const { return open_.load(std::memory_order_acquire); }
 
   /// Sequence numbers of the segments present on disk, ascending.
   std::vector<uint64_t> ListSegments() const;
@@ -114,9 +149,12 @@ class Wal {
 
   /// Makes the k-th fsync *from now* (1-based) fail; 0 disables. The
   /// failed fsync consumes the trigger, subsequent ones succeed.
-  void InjectFsyncFailure(size_t kth) {
-    fsync_fail_in_ = kth;
-  }
+  void InjectFsyncFailure(size_t kth);
+
+  /// Test hook: sleeps this long inside every fsync, widening the
+  /// group-commit window so multi-writer fsync sharing is deterministic
+  /// on fast filesystems. Set before spawning appenders.
+  void InjectSyncDelayForTest(std::chrono::microseconds delay);
 
   /// Simulates a process crash: discards everything after the last
   /// fsync barrier by truncating the current segment to its last synced
@@ -131,18 +169,38 @@ class Wal {
   static bool TruncateFileTo(const std::string& path, uint64_t offset);
 
  private:
-  bool OpenSegment(uint64_t seq);
-  bool DoSync();
+  // Lock order: append_mu_ before sync_mu_. Appends hold only
+  // append_mu_; the commit leader holds only sync_mu_; segment
+  // open/close/rotate hold both, so the leader's FILE* is stable for
+  // the duration of its fsync.
+  bool OpenSegmentLocked(uint64_t seq);  // both mutexes held
+  void CloseLocked();                    // both mutexes held
+  bool DoSyncLocked(uint64_t flushed_bytes);  // sync_mu_ held
+  /// Blocks until commit sequence `seq` is durable; one leader fsync
+  /// may commit many pending records. Called without locks held.
+  bool CommitUpTo(uint64_t seq);
 
   std::string dir_;
   WalOptions options_;
-  std::FILE* file_ = nullptr;
-  uint64_t current_seq_ = 0;
-  uint64_t segment_bytes_written_ = 0;  // current segment file size
-  uint64_t synced_segment_bytes_ = 0;   // offset covered by the last fsync
-  uint64_t appended_bytes_ = 0;
-  size_t appends_since_sync_ = 0;
-  size_t fsync_fail_in_ = 0;
+
+  mutable std::mutex append_mu_;
+  mutable std::mutex sync_mu_;
+  std::FILE* file_ = nullptr;            // guarded by append_mu_+sync_mu_
+                                         // for open/close; stdio locks
+                                         // serialize data ops
+  std::atomic<bool> open_{false};
+  std::atomic<uint64_t> current_seq_{0};
+  std::atomic<uint64_t> segment_bytes_written_{0};  // current segment size;
+                                                    // written under append_mu_
+  uint64_t synced_segment_bytes_ = 0;    // offset covered by the last
+                                         // fsync; sync_mu_
+  std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> appended_records_{0};   // latest commit seq assigned
+  std::atomic<uint64_t> committed_records_{0};  // highest durable commit seq
+  std::atomic<uint64_t> fsyncs_{0};
+  size_t appends_since_sync_ = 0;        // kEveryN window; append_mu_
+  size_t fsync_fail_in_ = 0;             // sync_mu_
+  std::atomic<int64_t> sync_delay_us_{0};
 };
 
 }  // namespace chameleon

@@ -32,8 +32,10 @@ class ConformanceTest : public ::testing::TestWithParam<Param> {
   std::vector<KeyValue> data_;
   std::vector<std::string> scratch_dirs_;  // durability dirs, see below
 
-  /// Builds the index the param names. Storage-layer params are spelled
-  /// "Durable:<inner>" so param names stay path-free; they expand to a
+  /// Builds the index the param names. Storage-layer params spell the
+  /// durability adapter as a bare "Durable:" token (anywhere in the
+  /// stack, e.g. "Sharded2:Durable:Chameleon") so param names stay
+  /// path-free; it expands to "Durable(<scratch>,fsync=everyN):" with a
   /// per-test scratch directory here (`tag` keeps multiple instances in
   /// one test apart). Group commit instead of fsync-per-op: this suite
   /// checks KvIndex behavior through the WAL write path, not crash
@@ -41,7 +43,8 @@ class ConformanceTest : public ::testing::TestWithParam<Param> {
   std::unique_ptr<KvIndex> MakeParamIndex(const std::string& name,
                                           const char* tag = "") {
     constexpr std::string_view kDurable = "Durable:";
-    if (!std::string_view(name).starts_with(kDurable)) return MakeIndex(name);
+    const size_t at = name.find(kDurable);
+    if (at == std::string::npos) return MakeIndex(name);
     std::string test =
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
     for (char& c : test) {
@@ -50,10 +53,12 @@ class ConformanceTest : public ::testing::TestWithParam<Param> {
     const std::string dir = ::testing::TempDir() + "/conf_" + test + tag;
     std::filesystem::remove_all(dir);
     scratch_dirs_.push_back(dir);
-    DurableOptions options;
-    options.wal.fsync = FsyncPolicy::kEveryN;
-    return MakeDurableIndex(std::string_view(name).substr(kDurable.size()),
-                            dir, options);
+    std::string spec = name;
+    spec.replace(at, kDurable.size(), "Durable(" + dir + ",fsync=everyN):");
+    std::string error;
+    std::unique_ptr<KvIndex> index = MakeIndex(spec, &error);
+    EXPECT_NE(index, nullptr) << spec << ": " << error;
+    return index;
   }
 
   void SetUp() override {
@@ -391,6 +396,15 @@ std::vector<Param> AllParams() {
   // Chameleon, generic sorted-pairs path via B+Tree).
   for (const std::string& name : {std::string("Durable:Chameleon"),
                                   std::string("Durable:B+Tree")}) {
+    for (DatasetKind kind : kAllDatasets) {
+      params.push_back({name, kind});
+    }
+  }
+  // And the nested composition: a sharded deployment whose shards each
+  // own a private WAL+snapshot stack (the per-shard durability layout)
+  // must still be contract-indistinguishable from a single index.
+  for (const std::string& name : {std::string("Sharded2:Durable:Chameleon"),
+                                  std::string("Sharded2:Durable:B+Tree")}) {
     for (DatasetKind kind : kAllDatasets) {
       params.push_back({name, kind});
     }

@@ -1,0 +1,204 @@
+// End-to-end tests for composed index-spec stacks (api + engine +
+// storage): Sharded<N> over Durable builds one WAL+snapshot stack per
+// shard under <dir>/shard-<i> plus a shards.meta routing file, crashes
+// and recovers as a unit, and the pre-refactor Durable-over-Sharded
+// order keeps its single-WAL layout byte-for-byte.
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/index_factory.h"
+#include "src/data/dataset.h"
+#include "src/engine/sharded_index.h"
+#include "src/storage/durable_index.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpecStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/stack_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    const std::vector<Key> keys =
+        GenerateDataset(DatasetKind::kLogn, 10'000, /*seed=*/17);
+    data_ = ToKeyValues(keys);
+    for (const KeyValue& kv : data_) reference_[kv.key] = kv.value;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<KvIndex> Build(const std::string& spec) {
+    std::string error;
+    std::unique_ptr<KvIndex> index = MakeIndex(spec, &error);
+    EXPECT_NE(index, nullptr) << spec << ": " << error;
+    return index;
+  }
+
+  /// Applies `n` acknowledged insert/erase ops, mirroring them into
+  /// reference_. Keys are derived near loaded ones so they spread over
+  /// every shard.
+  void Churn(KvIndex* index, size_t n, uint64_t seed) {
+    Rng rng(seed);
+    size_t acked = 0;
+    while (acked < n) {
+      const Key base = data_[rng.NextBounded(data_.size())].key;
+      if (rng.NextDouble() < 0.7) {
+        const Key k = base + 1 + rng.NextBounded(64);
+        const Value v = k ^ 0x5EED;
+        if (index->Insert(k, v)) {
+          ASSERT_FALSE(reference_.contains(k));
+          reference_[k] = v;
+          ++acked;
+        }
+      } else if (index->Erase(base)) {
+        ASSERT_EQ(reference_.erase(base), 1u);
+        ++acked;
+      }
+    }
+  }
+
+  void VerifyMatchesReference(const KvIndex& index) {
+    ASSERT_EQ(index.size(), reference_.size());
+    size_t i = 0;
+    for (const auto& [key, value] : reference_) {
+      if (++i % 3 != 0) continue;  // sample; full sweep is slow under TSan
+      Value v = 0;
+      ASSERT_TRUE(index.Lookup(key, &v)) << key;
+      ASSERT_EQ(v, value) << key;
+    }
+  }
+
+  /// True when `shard_dir` holds at least one WAL segment and one
+  /// snapshot (the per-shard durable stack actually materialized).
+  static bool HasWalAndSnapshot(const std::string& shard_dir) {
+    bool wal = false, snap = false;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(shard_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      wal = wal || name.ends_with(".wal");
+      snap = snap || name.ends_with(".snap");
+    }
+    return wal && snap;
+  }
+
+  std::string dir_;
+  std::vector<KeyValue> data_;
+  std::map<Key, Value> reference_;
+};
+
+TEST_F(SpecStackTest, ShardedDurableBuildsPerShardStacks) {
+  const std::string spec =
+      "Sharded4:Durable(" + dir_ + ",fsync=always):Chameleon";
+  std::unique_ptr<KvIndex> index = Build(spec);
+  index->BulkLoad(data_);
+  for (int i = 0; i < 4; ++i) {
+    const std::string shard_dir = dir_ + "/shard-" + std::to_string(i);
+    EXPECT_TRUE(fs::is_directory(shard_dir)) << shard_dir;
+    EXPECT_TRUE(HasWalAndSnapshot(shard_dir)) << shard_dir;
+  }
+  EXPECT_TRUE(fs::exists(dir_ + "/shards.meta"));
+  VerifyMatchesReference(*index);
+}
+
+TEST_F(SpecStackTest, ShardedDurableCrashRecoverRestoresAllShards) {
+  const std::string spec =
+      "Sharded4:Durable(" + dir_ + ",fsync=always):Chameleon";
+  {
+    std::unique_ptr<KvIndex> index = Build(spec);
+    index->BulkLoad(data_);
+    Churn(index.get(), 800, 23);
+    ASSERT_TRUE(SimulateCrashStack(index.get()));
+  }
+  std::unique_ptr<KvIndex> recovered = Build(spec);
+  ASSERT_TRUE(recovered->Recover());
+  VerifyMatchesReference(*recovered);
+  // The recovered stack keeps serving writes.
+  ASSERT_TRUE(recovered->Insert(reference_.rbegin()->first + 1000, 7));
+}
+
+TEST_F(SpecStackTest, SingleShardCrashRecoversWithTheRest) {
+  const std::string spec =
+      "Sharded2:Durable(" + dir_ + ",fsync=always):Chameleon";
+  {
+    std::unique_ptr<KvIndex> index = Build(spec);
+    index->BulkLoad(data_);
+    Churn(index.get(), 400, 29);
+    // Kill exactly one shard's WAL; the sibling shuts down cleanly via
+    // its destructor. Recovery must still restore the full key space.
+    auto* sharded = dynamic_cast<ShardedIndex*>(index.get());
+    ASSERT_NE(sharded, nullptr);
+    ASSERT_EQ(sharded->num_shards(), 2u);
+    ASSERT_TRUE(SimulateCrashStack(&sharded->shard(0)));
+  }
+  std::unique_ptr<KvIndex> recovered = Build(spec);
+  ASSERT_TRUE(recovered->Recover());
+  VerifyMatchesReference(*recovered);
+}
+
+TEST_F(SpecStackTest, ShardedDurableBTreeCrashRecovers) {
+  // The generic sorted-pairs snapshot path (non-Chameleon inner) rides
+  // the same per-shard layout.
+  const std::string spec = "Sharded2:Durable(" + dir_ + ",fsync=always):B+Tree";
+  {
+    std::unique_ptr<KvIndex> index = Build(spec);
+    index->BulkLoad(data_);
+    Churn(index.get(), 400, 31);
+    ASSERT_TRUE(SimulateCrashStack(index.get()));
+  }
+  std::unique_ptr<KvIndex> recovered = Build(spec);
+  ASSERT_TRUE(recovered->Recover());
+  VerifyMatchesReference(*recovered);
+}
+
+TEST_F(SpecStackTest, RecoverFailsWithoutMetaOrOnShardCountMismatch) {
+  const std::string spec2 =
+      "Sharded2:Durable(" + dir_ + ",fsync=always):Chameleon";
+  // Nothing on disk yet: no shards.meta, nothing to recover.
+  EXPECT_FALSE(Build(spec2)->Recover());
+
+  {
+    std::unique_ptr<KvIndex> index = Build(spec2);
+    index->BulkLoad(data_);
+    ASSERT_TRUE(SimulateCrashStack(index.get()));
+  }
+  // A different shard count cannot adopt the on-disk layout: the meta
+  // pins the partition the directories were built with.
+  const std::string spec4 =
+      "Sharded4:Durable(" + dir_ + ",fsync=always):Chameleon";
+  EXPECT_FALSE(Build(spec4)->Recover());
+  // The matching count still can.
+  std::unique_ptr<KvIndex> recovered = Build(spec2);
+  ASSERT_TRUE(recovered->Recover());
+  VerifyMatchesReference(*recovered);
+}
+
+TEST_F(SpecStackTest, DurableOverShardedKeepsSingleWalLayout) {
+  // The pre-refactor composition order: one WAL+snapshot stack over the
+  // whole sharded engine. No per-shard directories, no shards.meta.
+  const std::string spec =
+      "Durable(" + dir_ + ",fsync=always):Sharded2:Chameleon";
+  {
+    std::unique_ptr<KvIndex> index = Build(spec);
+    index->BulkLoad(data_);
+    EXPECT_TRUE(HasWalAndSnapshot(dir_));
+    EXPECT_FALSE(fs::exists(dir_ + "/shards.meta"));
+    EXPECT_FALSE(fs::exists(dir_ + "/shard-0"));
+    Churn(index.get(), 400, 37);
+    ASSERT_TRUE(SimulateCrashStack(index.get()));
+  }
+  std::unique_ptr<KvIndex> recovered = Build(spec);
+  ASSERT_TRUE(recovered->Recover());
+  VerifyMatchesReference(*recovered);
+}
+
+}  // namespace
+}  // namespace chameleon

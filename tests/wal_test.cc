@@ -2,11 +2,13 @@
 // round trips, segment rotation, the torn-tail / mid-log-corruption
 // replay classification, fsync policies, and fault injection.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -303,6 +305,119 @@ TEST_F(WalTest, ReplayOfEmptyOrMissingDirectoryIsOkAndEmpty) {
   size_t replayed = 123;
   EXPECT_EQ(ReplayAll(wal, &got, &replayed), Wal::ReplayStatus::kOk);
   EXPECT_EQ(replayed, 0u);
+}
+
+// --- Group commit -----------------------------------------------------------
+// Separate suite so CI can pick it up under TSan by name: the whole
+// point is concurrent appenders sharing fsync barriers.
+
+using WalGroupCommitTest = WalTest;
+
+/// Runs `threads` appenders, each appending `per_thread` records of the
+/// form [thread u8 type][seq u64 payload]; every Append must be
+/// acknowledged.
+void AppendConcurrently(Wal* wal, size_t threads, size_t per_thread) {
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([wal, t, per_thread] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        const uint64_t word = t * per_thread + i;
+        uint8_t payload[8];
+        std::memcpy(payload, &word, 8);
+        ASSERT_TRUE(wal->Append(static_cast<uint8_t>(t + 1), payload, 8));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+TEST_F(WalGroupCommitTest, TwoWritersShareFsyncsUnderFsyncAlways) {
+  constexpr size_t kThreads = 2;
+  constexpr size_t kPerThread = 200;
+  Wal wal(dir_);  // fsync=always
+  ASSERT_TRUE(wal.Open());
+  // Widen the commit window so the followers reliably pile up behind
+  // the leader's fsync even on a fast tmpfs.
+  wal.InjectSyncDelayForTest(std::chrono::microseconds(200));
+  AppendConcurrently(&wal, kThreads, kPerThread);
+
+  EXPECT_EQ(wal.appended_records(), kThreads * kPerThread);
+  EXPECT_EQ(wal.committed_records(), kThreads * kPerThread)
+      << "an acknowledged kAlways append was not covered by an fsync";
+  // The group-commit win: strictly fewer fsyncs than records (each
+  // leader fsync acks every record buffered before it). +1 allows
+  // nothing — Open()'s header sync is not counted in fsyncs().
+  EXPECT_LT(wal.fsyncs(), kThreads * kPerThread)
+      << "writers never shared an fsync; group commit is not batching";
+  EXPECT_GT(wal.fsyncs(), 0u);
+
+  // Every acknowledged record survives the crash barrier.
+  wal.SimulateCrash();
+  std::vector<Rec> got;
+  size_t replayed = 0;
+  ASSERT_EQ(ReplayAll(wal, &got, &replayed), Wal::ReplayStatus::kOk);
+  EXPECT_EQ(replayed, kThreads * kPerThread);
+  // Per-thread suborder is preserved (each thread's payloads ascend).
+  std::vector<uint64_t> last(kThreads + 1, 0);
+  std::vector<size_t> counts(kThreads + 1, 0);
+  for (const Rec& rec : got) {
+    ASSERT_EQ(rec.payload.size(), 8u);
+    ASSERT_GE(rec.type, 1u);
+    ASSERT_LE(rec.type, kThreads);
+    uint64_t word = 0;
+    std::memcpy(&word, rec.payload.data(), 8);
+    if (counts[rec.type] > 0) {
+      EXPECT_GT(word, last[rec.type]);
+    }
+    last[rec.type] = word;
+    ++counts[rec.type];
+  }
+  for (size_t t = 1; t <= kThreads; ++t) {
+    EXPECT_EQ(counts[t], kPerThread) << "thread " << t;
+  }
+}
+
+TEST_F(WalGroupCommitTest, ManyWritersStressWithRotation) {
+  // TSan food: four appenders racing across segment rotations and the
+  // kEveryN commit path, plus a concurrent Sync barrier caller.
+  WalOptions options;
+  options.segment_bytes = 1 << 12;  // rotate often
+  options.fsync = FsyncPolicy::kEveryN;
+  options.fsync_every_n = 16;
+  Wal wal(dir_, options);
+  ASSERT_TRUE(wal.Open());
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 500;
+  std::thread syncer([&wal] {
+    for (int i = 0; i < 50; ++i) {
+      wal.Sync();
+      std::this_thread::yield();
+    }
+  });
+  AppendConcurrently(&wal, kThreads, kPerThread);
+  syncer.join();
+  EXPECT_EQ(wal.appended_records(), kThreads * kPerThread);
+  ASSERT_TRUE(wal.Sync());
+  EXPECT_EQ(wal.committed_records(), kThreads * kPerThread);
+  wal.Close();
+
+  std::vector<Rec> got;
+  ASSERT_EQ(ReplayAll(wal, &got), Wal::ReplayStatus::kOk);
+  EXPECT_EQ(got.size(), kThreads * kPerThread);
+}
+
+TEST_F(WalGroupCommitTest, SingleWriterKeepsHistoricalFsyncCounts) {
+  // Group commit must not change the single-threaded contract: kAlways
+  // still costs exactly one fsync per append.
+  Wal wal(dir_);
+  ASSERT_TRUE(wal.Open());
+  AppendPattern(&wal, 25);
+  EXPECT_EQ(wal.fsyncs(), 25u);
+  EXPECT_EQ(wal.committed_records(), 25u);
+  // A Sync with nothing outstanding is free.
+  ASSERT_TRUE(wal.Sync());
+  EXPECT_EQ(wal.fsyncs(), 25u);
+  wal.Close();
 }
 
 }  // namespace
