@@ -238,6 +238,9 @@ int main(int argc, char** argv) {
   }
   for (const auto& [label, spec] : stacks) {
     WipeDurableDirs(spec);
+    // Phase histograms are process-global; reset per stack so each
+    // config's breakdown covers exactly its own replay.
+    obs::ResetPhaseHistograms();
     std::unique_ptr<KvIndex> index = MakeIndexOrDie(spec);
     index->BulkLoad(data);
     WorkloadGenerator gen(keys, opt.seed + 1);
@@ -251,6 +254,62 @@ int main(int argc, char** argv) {
         .Str("config", label)
         .Num("throughput_mops", mops)
         .Num("overhead_pct", overhead);
+
+    // Write-latency breakdown: one row per phase that recorded samples,
+    // plus a consistency row. kWalAppend + kGroupCommitWait + kApply
+    // are the additive phases of kWriteTotal (kFsync nests inside the
+    // leader's commit wait; kRetrainBlock needs a live retrainer). Each
+    // phase's contribution is weighted by its own sample count — under
+    // fsync=everyN only 1-in-N writes pays a commit wait, so its mean
+    // must be amortized over all writes before comparing against the
+    // write_total mean. The residual is writer-mutex wait, bookkeeping,
+    // and (at sub-microsecond write latency) the nested spans' own
+    // clock-read cost.
+    double additive_sum_ns = 0.0;
+    std::printf("  %-20s %10s %10s %10s %10s\n", "phase", "count",
+                "mean_ns", "p50_ns", "p99_ns");
+    for (size_t p = 0; p < obs::kNumWritePhases; ++p) {
+      const auto phase = static_cast<obs::WritePhase>(p);
+      const obs::LatencyHistogram& h = obs::PhaseHistogram(phase);
+      if (h.count() == 0) continue;
+      const std::string_view name = obs::WritePhaseName(phase);
+      std::printf("  %-20.*s %10llu %10.0f %10.0f %10.0f\n",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(h.count()), h.MeanNanos(),
+                  h.PercentileNanos(50), h.PercentileNanos(99));
+      report.AddRow()
+          .Str("section", "phase")
+          .Str("config", label)
+          .Str("phase", name)
+          .Num("count", static_cast<double>(h.count()))
+          .Num("mean_ns", h.MeanNanos())
+          .Num("p50_ns", h.PercentileNanos(50))
+          .Num("p99_ns", h.PercentileNanos(99))
+          .Num("max_ns", h.MaxNanos());
+      if (phase == obs::WritePhase::kWalAppend ||
+          phase == obs::WritePhase::kGroupCommitWait ||
+          phase == obs::WritePhase::kApply) {
+        additive_sum_ns += h.MeanNanos() * static_cast<double>(h.count());
+      }
+    }
+    const obs::LatencyHistogram& total_hist =
+        obs::PhaseHistogram(obs::WritePhase::kWriteTotal);
+    if (total_hist.count() > 0) {
+      const double additive_mean_ns =
+          additive_sum_ns / static_cast<double>(total_hist.count());
+      const double total_mean_ns = total_hist.MeanNanos();
+      const double coverage_pct =
+          total_mean_ns > 0.0 ? additive_mean_ns / total_mean_ns * 100.0 : 0.0;
+      std::printf("  phase sum (count-weighted): %.0f ns of %.0f ns "
+                  "write_total mean (%.1f%% coverage)\n",
+                  additive_mean_ns, total_mean_ns, coverage_pct);
+      report.AddRow()
+          .Str("section", "phase_sum")
+          .Str("config", label)
+          .Num("additive_mean_ns", additive_mean_ns)
+          .Num("write_total_mean_ns", total_mean_ns)
+          .Num("coverage_pct", coverage_pct);
+    }
     index.reset();
     WipeDurableDirs(spec);
     std::fflush(stdout);
@@ -266,7 +325,6 @@ int main(int argc, char** argv) {
                 " deterministic-tail setup needs the concrete Durable "
                 "wrapper)\n");
     report.Write();
-    DumpTraceIfRequested(opt);
     return 0;
   }
   std::printf("%12s %12s %14s %12s\n", "wal_records", "replayed",
@@ -316,6 +374,5 @@ int main(int argc, char** argv) {
               "device sync latency; recovery_ms linear in replayed records "
               "on top of a constant native-snapshot load\n");
   report.Write();
-  DumpTraceIfRequested(opt);
   return 0;
 }

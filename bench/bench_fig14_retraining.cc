@@ -101,6 +101,5 @@ int main(int argc, char** argv) {
   }
 
   report.Write();
-  DumpTraceIfRequested(opt);
   return 0;
 }

@@ -107,6 +107,5 @@ int main(int argc, char** argv) {
     index.StopRetrainer();
   }
   report.Write();
-  DumpTraceIfRequested(opt);
   return 0;
 }

@@ -1,6 +1,8 @@
 #ifndef CHAMELEON_BENCH_BENCH_UTIL_H_
 #define CHAMELEON_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +17,8 @@
 #include "src/data/dataset.h"
 #include "src/engine/sharded_index.h"
 #include "src/obs/latency_histogram.h"
+#include "src/obs/metrics_sampler.h"
+#include "src/obs/phase_timer.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
 #include "src/util/thread_pool.h"
@@ -22,7 +26,28 @@
 #include "src/workload/driver.h"
 #include "src/workload/workload.h"
 
+// Build provenance baked in by the top-level CMakeLists (configure-time
+// `git rev-parse`; stale across commits without a reconfigure, which CI
+// never does). The fallbacks keep ad-hoc compiles working.
+#ifndef CHAMELEON_GIT_SHA
+#define CHAMELEON_GIT_SHA "unknown"
+#endif
+#ifndef CHAMELEON_BUILD_TYPE
+#define CHAMELEON_BUILD_TYPE "unknown"
+#endif
+
 namespace chameleon::bench {
+
+/// Compiler identification for the JSON "build" block.
+inline std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
 
 /// Common options for the figure/table harnesses. Every binary accepts:
 ///   --scale=N      base dataset cardinality (default 200'000; the paper
@@ -51,6 +76,16 @@ namespace chameleon::bench {
 ///                  (driver layer; write-bearing streams stay on one
 ///                  thread — the indexes are single-writer)
 ///   --warmup=N     leading ops replayed untimed before measurement
+///   --series=PATH  run the obs::MetricsSampler for the duration of the
+///                  bench and flush its time series (counters, histogram
+///                  digests, unit heatmaps — one JSONL line per tick) to
+///                  PATH at exit
+///   --sample-ms=N  sampler tick period in milliseconds (default 100)
+///
+/// Flag plumbing is table-driven (kFlagTable): adding one entry lands
+/// the flag in every harness at once — IsHarnessFlag, Parse, ParseStrip
+/// and --help all walk the same table, so a flag can never be parsed in
+/// some binaries and silently ignored in others.
 struct Options {
   size_t scale = 200'000;
   size_t ops = 100'000;
@@ -60,19 +95,77 @@ struct Options {
   size_t shards = 1;
   size_t rthreads = 1;
   size_t warmup = 0;
+  size_t sample_ms = 100;
   /// Canonicalized adapter stack every swept index is wrapped in
   /// (includes the --shards sugar); "" = plain indexes.
   std::string spec;
   std::string json_path;
   std::string trace_path;
+  std::string series_path;
 
+ private:
+  static bool ParseU64(const char* s, unsigned long long* out) {
+    char* end = nullptr;
+    errno = 0;
+    *out = std::strtoull(s, &end, 10);
+    return end != s && *end == '\0' && errno == 0;
+  }
+  template <bool kMinOne>
+  static bool ApplySize(const char* v, size_t* field) {
+    unsigned long long n = 0;
+    if (!ParseU64(v, &n)) return false;
+    *field = kMinOne && n == 0 ? 1 : static_cast<size_t>(n);
+    return true;
+  }
+
+  struct FlagDef {
+    const char* prefix;  // "--scale=" — value text follows the '='
+    bool (*apply)(Options&, const char* value);
+  };
+  /// The one flag table every harness shares.
+  static std::span<const FlagDef> FlagTable() {
+    static constexpr FlagDef kFlagTable[] = {
+        {"--scale=",
+         [](Options& o, const char* v) { return ApplySize<false>(v, &o.scale); }},
+        {"--ops=",
+         [](Options& o, const char* v) { return ApplySize<false>(v, &o.ops); }},
+        {"--seed=",
+         [](Options& o, const char* v) {
+           unsigned long long n = 0;
+           if (!ParseU64(v, &n)) return false;
+           o.seed = n;
+           return true;
+         }},
+        {"--threads=",
+         [](Options& o, const char* v) { return ApplySize<false>(v, &o.threads); }},
+        {"--batch=",
+         [](Options& o, const char* v) { return ApplySize<true>(v, &o.batch); }},
+        {"--shards=",
+         [](Options& o, const char* v) { return ApplySize<true>(v, &o.shards); }},
+        {"--rthreads=",
+         [](Options& o, const char* v) { return ApplySize<true>(v, &o.rthreads); }},
+        {"--warmup=",
+         [](Options& o, const char* v) { return ApplySize<false>(v, &o.warmup); }},
+        {"--sample-ms=",
+         [](Options& o, const char* v) { return ApplySize<true>(v, &o.sample_ms); }},
+        {"--json=",
+         [](Options& o, const char* v) { o.json_path = v; return true; }},
+        {"--trace=",
+         [](Options& o, const char* v) { o.trace_path = v; return true; }},
+        {"--series=",
+         [](Options& o, const char* v) { o.series_path = v; return true; }},
+        {"--spec=",
+         [](Options& o, const char* v) { o.spec = v; return true; }},
+    };
+    return kFlagTable;
+  }
+
+ public:
   static bool IsHarnessFlag(const char* arg) {
-    static constexpr const char* kPrefixes[] = {
-        "--scale=", "--ops=",     "--seed=",   "--json=",
-        "--trace=", "--threads=", "--batch=",  "--shards=",
-        "--rthreads=", "--warmup=", "--spec="};
-    for (const char* p : kPrefixes) {
-      if (std::strncmp(arg, p, std::strlen(p)) == 0) return true;
+    for (const FlagDef& flag : FlagTable()) {
+      if (std::strncmp(arg, flag.prefix, std::strlen(flag.prefix)) == 0) {
+        return true;
+      }
     }
     return std::strcmp(arg, "--help") == 0;
   }
@@ -80,36 +173,25 @@ struct Options {
   static Options Parse(int argc, char** argv) {
     Options opt;
     for (int i = 1; i < argc; ++i) {
-      unsigned long long v = 0;
-      if (std::sscanf(argv[i], "--scale=%llu", &v) == 1) {
-        opt.scale = v;
-      } else if (std::sscanf(argv[i], "--ops=%llu", &v) == 1) {
-        opt.ops = v;
-      } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
-        opt.seed = v;
-      } else if (std::sscanf(argv[i], "--threads=%llu", &v) == 1) {
-        opt.threads = v;
-      } else if (std::sscanf(argv[i], "--batch=%llu", &v) == 1) {
-        opt.batch = v == 0 ? 1 : v;
-      } else if (std::sscanf(argv[i], "--shards=%llu", &v) == 1) {
-        opt.shards = v == 0 ? 1 : v;
-      } else if (std::sscanf(argv[i], "--rthreads=%llu", &v) == 1) {
-        opt.rthreads = v == 0 ? 1 : v;
-      } else if (std::sscanf(argv[i], "--warmup=%llu", &v) == 1) {
-        opt.warmup = v;
-      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-        opt.json_path = argv[i] + 7;
-      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-        opt.trace_path = argv[i] + 8;
-      } else if (std::strncmp(argv[i], "--spec=", 7) == 0) {
-        opt.spec = argv[i] + 7;
-      } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "options: --scale=N --ops=N --seed=N --json=PATH --trace=PATH "
-            "--threads=N --batch=N --shards=N --rthreads=R --warmup=N "
-            "--spec=STACK\n\n%s",
-            IndexSpecGrammarHelp().c_str());
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::string flags = "options:";
+        for (const FlagDef& flag : FlagTable()) {
+          flags += " ";
+          flags += flag.prefix;
+          flags += "...";
+        }
+        std::printf("%s\n\n%s", flags.c_str(),
+                    IndexSpecGrammarHelp().c_str());
         std::exit(0);
+      }
+      for (const FlagDef& flag : FlagTable()) {
+        const size_t len = std::strlen(flag.prefix);
+        if (std::strncmp(argv[i], flag.prefix, len) != 0) continue;
+        if (!flag.apply(opt, argv[i] + len)) {
+          std::fprintf(stderr, "ERROR: bad value in \"%s\"\n", argv[i]);
+          std::exit(2);
+        }
+        break;
       }
     }
     // --shards=N is sugar for an outermost Sharded<N> adapter; it folds
@@ -318,7 +400,17 @@ class JsonReport {
   };
 
   JsonReport(std::string_view bench, const Options& opt)
-      : bench_(bench), opt_(opt) {}
+      : bench_(bench), opt_(opt) {
+    if (!opt_.series_path.empty()) {
+      obs::SamplerOptions so;
+      so.interval = std::chrono::milliseconds(opt_.sample_ms);
+      sampler_ = std::make_unique<obs::MetricsSampler>(so);
+      // Calibrate the cycle clock up front so the first phase span of
+      // the measured run never pays the ~2ms calibration spin.
+      obs::CycleClock::ToNanos(0);
+      sampler_->Start();
+    }
+  }
 
   bool enabled() const { return !opt_.json_path.empty(); }
 
@@ -332,9 +424,14 @@ class JsonReport {
     return rows_.back();
   }
 
-  /// Writes the blob to --json=PATH; no-op (returns true) without the
-  /// flag. Returns false and warns on I/O error.
-  bool Write() const {
+  /// Flushes telemetry sinks (sampler series, trace journal) and writes
+  /// the blob to --json=PATH (a no-op without that flag). Returns false
+  /// and warns on I/O error. Telemetry flushing lives here — the one
+  /// call every harness already makes — so --series and --trace can
+  /// never drift out of a binary the way DumpTraceIfRequested once did
+  /// (PR 6 found 13 of 16 harnesses parsing --trace but never dumping).
+  bool Write() {
+    FinishTelemetry();
     if (!enabled()) return true;
     FILE* f = std::fopen(opt_.json_path.c_str(), "w");
     if (f == nullptr) {
@@ -353,11 +450,27 @@ class JsonReport {
                  "  \"batch\": %zu,\n"
                  "  \"shards\": %zu,\n"
                  "  \"rthreads\": %zu,\n"
+                 "  \"sample_ms\": %zu,\n"
                  "  \"spec\": \"%s\",\n",
                  JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
                  static_cast<unsigned long long>(opt_.seed),
                  GlobalPool().num_threads(), opt_.batch, opt_.shards,
-                 opt_.rthreads, JsonEscape(SpecPattern(opt_)).c_str());
+                 opt_.rthreads, opt_.sample_ms,
+                 JsonEscape(SpecPattern(opt_)).c_str());
+    // Build provenance (PR 6): every perf blob is attributable to an
+    // exact source revision, compiler, and instrumentation state.
+    std::fprintf(f,
+                 "  \"build\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
+                 "\"build_type\": \"%s\", \"no_stats\": %s},\n",
+                 JsonEscape(CHAMELEON_GIT_SHA).c_str(),
+                 JsonEscape(CompilerString()).c_str(),
+                 JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
+#ifdef CHAMELEON_NO_STATS
+                 "true"
+#else
+                 "false"
+#endif
+    );
     std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
                  mean > 0.0 ? 1e3 / mean : 0.0);
     std::fprintf(f,
@@ -401,28 +514,50 @@ class JsonReport {
     return ok;
   }
 
+  /// Stops the sampler and flushes --series, then dumps the trace
+  /// journal to --trace=PATH (or, with --json=PATH and an enabled
+  /// journal, to PATH + ".trace.jsonl"). Idempotent; Write() calls it,
+  /// so no harness needs its own telemetry epilogue.
+  void FinishTelemetry() {
+    if (telemetry_done_) return;
+    telemetry_done_ = true;
+    if (sampler_ != nullptr) {
+      sampler_->Stop();
+      if (sampler_->WriteJsonl(opt_.series_path)) {
+        std::fprintf(stderr, "wrote %s (%zu ticks)\n",
+                     opt_.series_path.c_str(), sampler_->total_ticks());
+      } else {
+        std::fprintf(stderr, "WARNING: cannot write --series=%s\n",
+                     opt_.series_path.c_str());
+      }
+    }
+    std::string trace_path = opt_.trace_path;
+    if (trace_path.empty() && !opt_.json_path.empty() &&
+        obs::TraceJournal::Get().enabled()) {
+      trace_path = opt_.json_path + ".trace.jsonl";
+    }
+    if (trace_path.empty()) return;
+    if (obs::TraceJournal::Get().DumpJsonl(trace_path)) {
+      std::fprintf(stderr, "wrote %s (%zu events)\n", trace_path.c_str(),
+                   obs::TraceJournal::Get().size());
+    } else {
+      std::fprintf(stderr, "WARNING: cannot write trace %s\n",
+                   trace_path.c_str());
+    }
+  }
+
+  /// The live sampler (null without --series); exposed so benches can
+  /// embed series-derived rows if they want to.
+  obs::MetricsSampler* sampler() { return sampler_.get(); }
+
  private:
   std::string bench_;
   Options opt_;
   obs::LatencyHistogram lat_;
   std::vector<Row> rows_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  bool telemetry_done_ = false;
 };
-
-/// Dumps the global trace journal to --trace=PATH (or, with --json=PATH
-/// only, to PATH + ".trace.jsonl"). No-op when neither flag was given.
-inline void DumpTraceIfRequested(const Options& opt) {
-  std::string path = opt.trace_path;
-  if (path.empty() && !opt.json_path.empty()) {
-    path = opt.json_path + ".trace.jsonl";
-  }
-  if (path.empty()) return;
-  if (obs::TraceJournal::Get().DumpJsonl(path)) {
-    std::fprintf(stderr, "wrote %s (%zu events)\n", path.c_str(),
-                 obs::TraceJournal::Get().size());
-  } else {
-    std::fprintf(stderr, "WARNING: cannot write trace %s\n", path.c_str());
-  }
-}
 
 }  // namespace chameleon::bench
 

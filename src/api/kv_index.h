@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/heatmap.h"
 #include "src/util/common.h"
 
 namespace chameleon {
@@ -81,6 +82,16 @@ class KvIndex {
 
   /// Short display name ("ALEX", "Chameleon", ...).
   virtual std::string_view Name() const = 0;
+
+  /// Per-unit access heatmap (obs layer): one entry per h-level unit
+  /// with its key interval and sampled read/write hit counts, in key
+  /// order. The default — baselines without unit-granular structure
+  /// have no heat to report — is empty. ChameleonIndex reports its
+  /// units; adapters delegate (ShardedIndex concatenates shards in
+  /// shard order, DurableIndex passes through). Implementations must
+  /// keep this safe to call concurrently with readers and the
+  /// retrainer (the metrics sampler polls it live).
+  virtual obs::Heatmap HeatmapSnapshot() const { return {}; }
 
   /// Restores the index from its durable state instead of BulkLoad.
   /// Only meaningful for stacks with a durable layer (DurableIndex

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/phase_timer.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
 #include "src/util/thread_pool.h"
@@ -245,6 +246,9 @@ void ChameleonIndex::BuildFrameNode(FrameNode* node,
 }
 
 void ChameleonIndex::BuildFrame(std::span<const KeyValue> data) {
+  // Exclude the sampler's HeatmapSnapshot while units_ is replaced
+  // (it try-locks and reports empty for the duration).
+  std::lock_guard<std::mutex> heat_guard(heatmap_mu_);
   units_.clear();
   const size_t n = data.size();
   mk_ = n > 0 ? data.front().key : 0;
@@ -336,6 +340,7 @@ ChameleonIndex::Unit* ChameleonIndex::FindUnit(Key key) const {
 bool ChameleonIndex::Lookup(Key key, Value* value) const {
   CHAMELEON_STAT_INC(kLookups);
   Unit* unit = FindUnit(key);
+  CHAMELEON_HEAT_HIT(unit->heat_reads);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
   if (locked) unit->lock.LockShared();
   const SubNode* node = &unit->root;
@@ -371,6 +376,7 @@ void ChameleonIndex::LookupBatch(std::span<const Key> keys, Value* values,
     for (size_t i = 0; i < n; ++i) {
       const Key key = keys[g + i];
       Unit* unit = FindUnit(key);
+      CHAMELEON_HEAT_HIT(unit->heat_reads);
       if (locked) unit->lock.LockShared();
       const SubNode* node = &unit->root;
       while (!node->is_leaf()) {
@@ -392,8 +398,14 @@ void ChameleonIndex::LookupBatch(std::span<const Key> keys, Value* values,
 bool ChameleonIndex::Insert(Key key, Value value) {
   CHAMELEON_STAT_INC(kInserts);
   Unit* unit = FindUnit(key);
+  CHAMELEON_HEAT_HIT(unit->heat_writes);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
-  if (locked) unit->lock.LockShared();
+  if (locked) {
+    // Attribute time spent blocked on the retrainer's exclusive hold
+    // of this interval (usually ~one CAS when uncontended).
+    CHAMELEON_PHASE_SPAN(kRetrainBlock);
+    unit->lock.LockShared();
+  }
   SubNode* node = &unit->root;
   while (!node->is_leaf()) {
     node = &node->children[node->ChildIndex(key)];
@@ -414,8 +426,12 @@ bool ChameleonIndex::Insert(Key key, Value value) {
 bool ChameleonIndex::Erase(Key key) {
   CHAMELEON_STAT_INC(kErases);
   Unit* unit = FindUnit(key);
+  CHAMELEON_HEAT_HIT(unit->heat_writes);
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
-  if (locked) unit->lock.LockShared();
+  if (locked) {
+    CHAMELEON_PHASE_SPAN(kRetrainBlock);
+    unit->lock.LockShared();
+  }
   SubNode* node = &unit->root;
   while (!node->is_leaf()) {
     node = &node->children[node->ChildIndex(key)];
@@ -475,6 +491,7 @@ size_t ChameleonIndex::RangeScan(Key lo, Key hi,
 
   const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
   for (Unit* unit : frame_walker.hits) {
+    CHAMELEON_HEAT_HIT(unit->heat_reads);
     if (locked) unit->lock.LockShared();
     SubWalker walker{lo, hi, out};
     walker.Walk(&unit->root);
@@ -482,6 +499,22 @@ size_t ChameleonIndex::RangeScan(Key lo, Key hi,
     if (locked) unit->lock.UnlockShared();
   }
   return count;
+}
+
+obs::Heatmap ChameleonIndex::HeatmapSnapshot() const {
+  // try_to_lock: a full (re)build or LoadFrom holds heatmap_mu_ while
+  // it replaces units_; report empty for that tick instead of stalling
+  // the sampler (or racing the vector).
+  std::unique_lock<std::mutex> lock(heatmap_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return {};
+  obs::Heatmap out;
+  out.reserve(units_.size());
+  for (const auto& unit : units_) {
+    out.push_back({unit->lk, unit->uk,
+                   unit->heat_reads.load(std::memory_order_relaxed),
+                   unit->heat_writes.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 // --- Retraining -------------------------------------------------------------

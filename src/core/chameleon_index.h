@@ -113,6 +113,12 @@ class ChameleonIndex final : public KvIndex {
   bool Insert(Key key, Value value) override;
   bool Erase(Key key) override;
   size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  /// Per-unit access heatmap: one entry per h-level unit, in key order.
+  /// Safe concurrently with readers, the single foreground writer, and
+  /// the retrainer (only immutable unit bounds and relaxed atomics are
+  /// read); returns empty while a full structural (re)build holds
+  /// heatmap_mu_ rather than stalling the sampler thread.
+  obs::Heatmap HeatmapSnapshot() const override;
   size_t size() const override { return size_; }
   size_t SizeBytes() const override;
   IndexStats Stats() const override;
@@ -222,6 +228,13 @@ class ChameleonIndex final : public KvIndex {
     IntervalLock lock;
     size_t built_keys = 0;
     std::atomic<size_t> inserts_since_build{0};
+    // Access heat (obs layer): sampled read/write hit estimates (see
+    // obs::HeatSampler), read live by HeatmapSnapshot. Relaxed atomics
+    // — statistics, not synchronization. Counters persist across unit
+    // retrains (the Unit object survives the subtree swap) and reset
+    // on a full rebuild (units are recreated).
+    std::atomic<uint64_t> heat_reads{0};
+    std::atomic<uint64_t> heat_writes{0};
     // Guarded by `lock`: set (exclusive) by the retrainer, observed
     // (shared) by the single workload thread, which is the only writer
     // of pending_log.
@@ -293,6 +306,12 @@ class ChameleonIndex final : public KvIndex {
   // Interval locks are only taken while a retraining thread is live;
   // single-threaded operation pays no atomic RMWs on the query path.
   std::atomic<bool> retrainer_enabled_{false};
+
+  // Held (exclusively) across structural rebuilds that replace units_
+  // (BuildFrame, LoadFrom); HeatmapSnapshot try-locks it so the
+  // sampler thread never walks a half-built unit vector and never
+  // stalls a build. Leaf operations never touch it.
+  mutable std::mutex heatmap_mu_;
 
   // Retrainer thread state. mutable: const SaveTo pauses/drains the
   // retrainer through the same mutex/cv (see PauseRetrainerForSave).

@@ -252,6 +252,9 @@ bool ChameleonIndex::LoadFrom(std::FILE* fp) {
 
   uint64_t num_units = 0;
   if (!ReadVal(fp, &num_units)) return false;
+  // Exclude the sampler's HeatmapSnapshot while units_ is replaced,
+  // same as BuildFrame (recovery can run with a sampler attached).
+  std::lock_guard<std::mutex> heat_guard(heatmap_mu_);
   units_.clear();
   units_.reserve(num_units);
   for (uint64_t i = 0; i < num_units; ++i) {

@@ -396,4 +396,13 @@ IndexStats ShardedIndex::Stats() const {
 
 std::string_view ShardedIndex::Name() const { return name_; }
 
+obs::Heatmap ShardedIndex::HeatmapSnapshot() const {
+  obs::Heatmap merged;
+  for (const auto& shard : shards_) {
+    obs::Heatmap h = shard->HeatmapSnapshot();
+    merged.insert(merged.end(), h.begin(), h.end());
+  }
+  return merged;
+}
+
 }  // namespace chameleon

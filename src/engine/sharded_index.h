@@ -79,6 +79,10 @@ class ShardedIndex final : public KvIndex {
   /// the same weighting each index applies across its own leaves.
   IndexStats Stats() const override;
   std::string_view Name() const override;
+  /// Per-shard heatmaps concatenated in shard order — shards partition
+  /// the key space in order, so the result is already in key order
+  /// (the same invariant cross-shard RangeScan stitching relies on).
+  obs::Heatmap HeatmapSnapshot() const override;
 
   /// Restores a durable sharded stack: loads the persisted quantile
   /// boundaries (shards.meta under the inner spec's Durable root), then

@@ -1,0 +1,69 @@
+#include "src/obs/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace chameleon::obs {
+
+size_t HottestUnit(const Heatmap& map) {
+  size_t best = map.size();
+  uint64_t best_heat = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i].heat() > best_heat) {
+      best_heat = map[i].heat();
+      best = i;
+    }
+  }
+  return best;
+}
+
+Heatmap TopKHottest(const Heatmap& map, size_t k) {
+  std::vector<size_t> order(map.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // stable_sort on descending heat keeps key order among ties.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return map[a].heat() > map[b].heat();
+  });
+  Heatmap out;
+  out.reserve(std::min(k, map.size()));
+  for (size_t i : order) {
+    if (out.size() >= k || map[i].heat() == 0) break;
+    out.push_back(map[i]);
+  }
+  return out;
+}
+
+Heatmap HeatmapDelta(const Heatmap& cur, const Heatmap& prev) {
+  Heatmap out;
+  out.reserve(cur.size());
+  for (size_t i = 0; i < cur.size(); ++i) {
+    UnitHeat d = cur[i];
+    if (i < prev.size() && prev[i].lo == cur[i].lo &&
+        prev[i].hi == cur[i].hi) {
+      d.reads -= std::min(prev[i].reads, d.reads);
+      d.writes -= std::min(prev[i].writes, d.writes);
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::string HeatmapJson(const Heatmap& map) {
+  std::string out = "[";
+  char buf[128];
+  for (size_t i = 0; i < map.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"lo\":%llu,\"hi\":%llu,\"reads\":%llu,\"writes\":%llu}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(map[i].lo),
+                  static_cast<unsigned long long>(map[i].hi),
+                  static_cast<unsigned long long>(map[i].reads),
+                  static_cast<unsigned long long>(map[i].writes));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace chameleon::obs

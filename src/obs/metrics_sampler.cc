@@ -1,0 +1,288 @@
+#include "src/obs/metrics_sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/timer.h"
+
+namespace chameleon::obs {
+
+// --- HistogramRegistry ------------------------------------------------------
+
+HistogramRegistry& HistogramRegistry::Get() {
+  static HistogramRegistry registry;
+  return registry;
+}
+
+void HistogramRegistry::Register(std::string name,
+                                 const LatencyHistogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, _] : entries_) {
+    if (existing == name) return;
+  }
+  entries_.emplace_back(std::move(name), hist);
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+HistogramRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+// --- Active heatmap source --------------------------------------------------
+
+namespace {
+
+std::mutex g_source_mu;
+std::function<Heatmap()> g_source;
+
+}  // namespace
+
+void SetActiveHeatmapSource(std::function<Heatmap()> source) {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  g_source = std::move(source);
+}
+
+void ClearActiveHeatmapSource() { SetActiveHeatmapSource(nullptr); }
+
+Heatmap ReadActiveHeatmap() {
+  // Invoked under the mutex: a ScopedHeatmapSource destructor cannot
+  // return while a snapshot of its index is still in flight.
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  return g_source ? g_source() : Heatmap{};
+}
+
+ScopedHeatmapSource::ScopedHeatmapSource(std::function<Heatmap()> source) {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  previous_ = std::move(g_source);
+  g_source = std::move(source);
+}
+
+ScopedHeatmapSource::~ScopedHeatmapSource() {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  g_source = std::move(previous_);
+}
+
+// --- MetricsSampler ---------------------------------------------------------
+
+MetricsSampler::MetricsSampler(SamplerOptions options) : options_(options) {
+  ring_.reserve(std::min<size_t>(options_.ring_capacity, 1024));
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&MetricsSampler::Loop, this);
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    running_ = false;
+  }
+  // Final tick: a run shorter than one interval still yields a series,
+  // and the last line always reflects end-of-run totals.
+  SampleNow();
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, options_.interval, [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::SampleNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CaptureLocked();
+}
+
+void MetricsSampler::CaptureLocked() {
+  MetricsSample s;
+  s.tick = total_ticks_;
+  s.ts_ns = NowNanos();
+  s.dt_ns = total_ticks_ == 0 ? 0 : s.ts_ns - last_ts_ns_;
+  s.totals = StatsRegistry::Get().Snapshot();
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    // Saturating: a concurrent StatsRegistry::Reset can shrink totals.
+    s.deltas[i] =
+        s.totals[i] - std::min(last_totals_[i], s.totals[i]);
+  }
+
+  const auto hists = HistogramRegistry::Get().List();
+  s.hists.reserve(hists.size());
+  for (size_t i = 0; i < hists.size(); ++i) {
+    const auto& [name, hist] = hists[i];
+    HistSample hs;
+    hs.count = hist->count();
+    hs.mean_ns = hist->MeanNanos();
+    hs.p50_ns = hist->PercentileNanos(50);
+    hs.p99_ns = hist->PercentileNanos(99);
+    hs.max_ns = hist->MaxNanos();
+    // The registry is append-only, so positional match (with a name
+    // check for safety) recovers the previous tick's count.
+    if (i < last_hist_counts_.size() && last_hist_counts_[i].first == name) {
+      hs.delta_count =
+          hs.count - std::min(last_hist_counts_[i].second, hs.count);
+    } else {
+      hs.delta_count = hs.count;
+    }
+    s.hists.emplace_back(name, hs);
+  }
+
+  Heatmap cur = ReadActiveHeatmap();
+  s.hot = TopKHottest(HeatmapDelta(cur, last_heat_), options_.heatmap_top_k);
+
+  last_ts_ns_ = s.ts_ns;
+  last_totals_ = s.totals;
+  last_hist_counts_.clear();
+  for (const auto& [name, hs] : s.hists) {
+    last_hist_counts_.emplace_back(name, hs.count);
+  }
+  last_heat_ = std::move(cur);
+
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(s));
+  } else if (!ring_.empty()) {
+    ring_[total_ticks_ % options_.ring_capacity] = std::move(s);
+  }
+  ++total_ticks_;
+}
+
+size_t MetricsSampler::total_ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ticks_;
+}
+
+size_t MetricsSampler::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<MetricsSample> MetricsSampler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricsSample> out;
+  out.reserve(ring_.size());
+  if (total_ticks_ <= options_.ring_capacity) {
+    out = ring_;
+  } else {
+    const size_t start = total_ticks_ % options_.ring_capacity;
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void MetricsSampler::AppendSampleJson(const MetricsSample& s,
+                                      std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"tick\":%llu,\"ts_ns\":%lld,\"dt_ns\":%lld,\"counters\":{",
+                static_cast<unsigned long long>(s.tick),
+                static_cast<long long>(s.ts_ns),
+                static_cast<long long>(s.dt_ns));
+  *out += buf;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const std::string_view name = CounterName(static_cast<Counter>(i));
+    std::snprintf(buf, sizeof(buf), "%s\"%.*s\":%llu", i == 0 ? "" : ",",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(s.totals[i]));
+    *out += buf;
+  }
+  *out += "},\"deltas\":{";
+  bool first = true;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (s.deltas[i] == 0) continue;
+    const std::string_view name = CounterName(static_cast<Counter>(i));
+    std::snprintf(buf, sizeof(buf), "%s\"%.*s\":%llu", first ? "" : ",",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(s.deltas[i]));
+    *out += buf;
+    first = false;
+  }
+  *out += "},\"hists\":{";
+  for (size_t i = 0; i < s.hists.size(); ++i) {
+    const auto& [name, hs] = s.hists[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"delta_count\":%llu,"
+                  "\"mean_ns\":%.6g,\"p50_ns\":%.6g,\"p99_ns\":%.6g,"
+                  "\"max_ns\":%.6g}",
+                  i == 0 ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(hs.count),
+                  static_cast<unsigned long long>(hs.delta_count),
+                  hs.mean_ns, hs.p50_ns, hs.p99_ns, hs.max_ns);
+    *out += buf;
+  }
+  *out += "},\"heat\":";
+  *out += HeatmapJson(s.hot);
+  *out += "}\n";
+}
+
+bool MetricsSampler::WriteJsonl(const std::string& path) const {
+  const std::vector<MetricsSample> series = Snapshot();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string line;
+  bool ok = true;
+  for (const MetricsSample& s : series) {
+    line.clear();
+    AppendSampleJson(s, &line);
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      ok = false;
+      break;
+    }
+  }
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::string MetricsSampler::RenderProm() {
+  std::string out;
+  char buf[256];
+  const CounterSnapshot snap = StatsRegistry::Get().Snapshot();
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const std::string_view name = CounterName(static_cast<Counter>(i));
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE chameleon_%.*s_total counter\n"
+                  "chameleon_%.*s_total %llu\n",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(snap[i]));
+    out += buf;
+  }
+  for (const auto& [name, hist] : HistogramRegistry::Get().List()) {
+    const uint64_t count = hist->count();
+    std::snprintf(
+        buf, sizeof(buf),
+        "# TYPE chameleon_%s_ns summary\n"
+        "chameleon_%s_ns{quantile=\"0.5\"} %.6g\n"
+        "chameleon_%s_ns{quantile=\"0.99\"} %.6g\n",
+        name.c_str(), name.c_str(), hist->PercentileNanos(50), name.c_str(),
+        hist->PercentileNanos(99));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "chameleon_%s_ns_sum %.6g\n"
+                  "chameleon_%s_ns_count %llu\n",
+                  name.c_str(), hist->MeanNanos() * static_cast<double>(count),
+                  name.c_str(), static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace chameleon::obs

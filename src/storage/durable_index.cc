@@ -9,6 +9,7 @@
 #include "src/api/index_factory.h"
 #include "src/api/index_spec.h"
 #include "src/engine/sharded_index.h"
+#include "src/obs/phase_timer.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
 #include "src/util/timer.h"
@@ -90,6 +91,11 @@ void DurableIndex::BulkLoad(std::span<const KeyValue> data) {
 }
 
 bool DurableIndex::Insert(Key key, Value value) {
+  // kWriteTotal spans the whole call as the client observes it (incl.
+  // writer-mutex wait); kApply covers only the inner-index apply. The
+  // WAL phases (kWalAppend / kGroupCommitWait / kFsync) are recorded
+  // inside wal_.Append.
+  CHAMELEON_PHASE_SPAN(kWriteTotal);
   std::lock_guard<std::mutex> lock(write_mu_);
   uint8_t payload[16];
   std::memcpy(payload, &key, 8);
@@ -97,14 +103,17 @@ bool DurableIndex::Insert(Key key, Value value) {
   // Log before apply: a failed append (I/O or fsync fault) leaves the
   // op unacknowledged and unapplied.
   if (!wal_.Append(kRecInsert, payload, sizeof(payload))) return false;
+  CHAMELEON_PHASE_SPAN(kApply);
   return inner_->Insert(key, value);
 }
 
 bool DurableIndex::Erase(Key key) {
+  CHAMELEON_PHASE_SPAN(kWriteTotal);
   std::lock_guard<std::mutex> lock(write_mu_);
   uint8_t payload[8];
   std::memcpy(payload, &key, 8);
   if (!wal_.Append(kRecErase, payload, sizeof(payload))) return false;
+  CHAMELEON_PHASE_SPAN(kApply);
   return inner_->Erase(key);
 }
 

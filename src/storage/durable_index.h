@@ -84,6 +84,9 @@ class DurableIndex final : public KvIndex {
   size_t SizeBytes() const override { return inner_->SizeBytes(); }
   IndexStats Stats() const override { return inner_->Stats(); }
   std::string_view Name() const override { return name_; }
+  obs::Heatmap HeatmapSnapshot() const override {
+    return inner_->HeatmapSnapshot();
+  }
 
   // --- Durability operations ------------------------------------------------
 

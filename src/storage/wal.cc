@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "src/obs/phase_timer.h"
 #include "src/obs/stats.h"
 #include "src/util/crc32c.h"
 
@@ -121,6 +122,10 @@ void Wal::Close() {
 
 bool Wal::DoSyncLocked(uint64_t flushed_bytes) {
   if (file_ == nullptr) return false;
+  // The leader's actual durability work: fflush + (simulated-latency)
+  // fsync. Nested inside the leader's kGroupCommitWait span, so the
+  // two phases are informational siblings, not additive.
+  CHAMELEON_PHASE_SPAN(kFsync);
   if (std::fflush(file_) != 0) return false;
   const int64_t delay_us = sync_delay_us_.load(std::memory_order_relaxed);
   if (delay_us > 0) {
@@ -185,6 +190,8 @@ bool Wal::Append(uint8_t type, const void* payload, size_t payload_len) {
   uint64_t my_seq = 0;
   bool need_commit = false;
   {
+    // Record assembly + buffered fwrite, including append_mu_ wait.
+    CHAMELEON_PHASE_SPAN(kWalAppend);
     std::lock_guard<std::mutex> append_lock(append_mu_);
     if (file_ == nullptr) return false;
     if (segment_bytes_written_.load(std::memory_order_relaxed) >=
@@ -236,7 +243,11 @@ bool Wal::Append(uint8_t type, const void* payload, size_t payload_len) {
   }
   CHAMELEON_STAT_INC(kWalAppends);
   CHAMELEON_STAT_ADD(kWalBytes, record_bytes);
-  if (need_commit) return CommitUpTo(my_seq);
+  if (need_commit) {
+    // Waiting for (or leading) the group commit covering my_seq.
+    CHAMELEON_PHASE_SPAN(kGroupCommitWait);
+    return CommitUpTo(my_seq);
+  }
   return true;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics_sampler.h"
 #include "src/util/timer.h"
 
 namespace chameleon {
@@ -114,6 +115,13 @@ ChunkResult ReplayDispatch(KvIndex* index, std::span<const Operation> ops,
 ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
                     const ReplayOptions& options,
                     obs::LatencyHistogram* hist) {
+  // Register the replayed index as the sampler's heatmap source for
+  // the duration: every bench driving through here gets per-tick unit
+  // heatmaps in its --series output with no harness wiring. Safe with
+  // concurrent replay threads (HeatmapSnapshot's contract) and scoped
+  // so the sampler can never touch the index after Replay returns.
+  obs::ScopedHeatmapSource heat_scope(
+      [index] { return index->HeatmapSnapshot(); });
   const size_t batch = std::max<size_t>(1, options.batch);
   const size_t warmup = std::min(options.warmup, ops.size());
   if (warmup > 0) {

@@ -95,6 +95,65 @@ TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
   }
 }
 
+// The driver's multi-threaded replay path: each thread records into
+// its own histogram, the results are merged at the end. The merged
+// digest must be bit-identical to recording the whole stream into one
+// histogram (bucketing is deterministic, sum/count exact), and its
+// percentiles must honor the 2^-kSubBucketBits relative error bound
+// against a sorted oracle.
+TEST(LatencyHistogramTest, PerThreadMergeMatchesSingleGroundTruth) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40'000;
+  std::vector<LatencyHistogram> per_thread(kThreads);
+  LatencyHistogram ground_truth;
+  std::vector<double> oracle;
+  oracle.reserve(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&per_thread, t] {
+      std::mt19937_64 rng(1000 + static_cast<uint64_t>(t));
+      std::lognormal_distribution<double> dist(6.0, 2.0);
+      for (int i = 0; i < kPerThread; ++i) {
+        per_thread[t].Record(static_cast<int64_t>(dist(rng)) + 1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Same streams, replayed serially, into one histogram + the oracle.
+  for (int t = 0; t < kThreads; ++t) {
+    std::mt19937_64 rng(1000 + static_cast<uint64_t>(t));
+    std::lognormal_distribution<double> dist(6.0, 2.0);
+    for (int i = 0; i < kPerThread; ++i) {
+      const int64_t v = static_cast<int64_t>(dist(rng)) + 1;
+      ground_truth.Record(v);
+      oracle.push_back(static_cast<double>(v));
+    }
+  }
+
+  LatencyHistogram merged;
+  for (const LatencyHistogram& h : per_thread) merged.Merge(h);
+
+  EXPECT_EQ(merged.count(), ground_truth.count());
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), ground_truth.MeanNanos());
+  EXPECT_DOUBLE_EQ(merged.MaxNanos(), ground_truth.MaxNanos());
+  EXPECT_DOUBLE_EQ(merged.MinNanos(), ground_truth.MinNanos());
+  for (double pct : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(merged.PercentileNanos(pct),
+                     ground_truth.PercentileNanos(pct));
+  }
+
+  // Error bound: each bucket spans at most 2^-kSubBucketBits of its
+  // value range, so a reported percentile sits within one bucket width
+  // of the exact order statistic (2x slack for oracle interpolation).
+  const double bound = 2.0 / static_cast<double>(
+                                 LatencyHistogram::kSubBuckets);
+  for (double pct : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = ExactPercentile(oracle, pct);
+    EXPECT_NEAR(merged.PercentileNanos(pct), exact, exact * bound)
+        << "pct=" << pct;
+  }
+}
+
 TEST(LatencyHistogramTest, NegativeValuesClampToZero) {
   LatencyHistogram hist;
   hist.Record(-5);
@@ -220,6 +279,45 @@ TEST(TraceJournalTest, ConcurrentAppendersNeverTearEvents) {
   for (const TraceEvent& e : journal.Snapshot()) {
     EXPECT_EQ(e.b, ~e.a);
   }
+  journal.SetEnabled(false);
+  journal.Clear();
+}
+
+// Wraparound stress with live readers: many appenders push far past
+// kCapacity while snapshots run concurrently. The drop arithmetic must
+// stay exact — total_appended() counts every append, size() caps at
+// kCapacity, and the difference is precisely the overwritten events.
+TEST(TraceJournalTest, ConcurrentWraparoundAccountsForDrops) {
+  TraceJournal& journal = TraceJournal::Get();
+  journal.Clear();
+  journal.SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 3 * TraceJournal::kCapacity;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t a = static_cast<uint64_t>(t) * kPerThread + i;
+        journal.Append(TraceEventType::kUnitRebuilt, a, a ^ 0x5a5a5a5a);
+      }
+    });
+  }
+  // Snapshots racing the wrapping writers: every entry whole or absent,
+  // retained count never above capacity.
+  for (int r = 0; r < 20; ++r) {
+    const std::vector<TraceEvent> events = journal.Snapshot();
+    EXPECT_LE(events.size(), TraceJournal::kCapacity);
+    for (const TraceEvent& e : events) {
+      ASSERT_EQ(e.b, e.a ^ 0x5a5a5a5a);
+    }
+  }
+  for (std::thread& th : threads) th.join();
+
+  const uint64_t total = journal.total_appended();
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_EQ(journal.size(), TraceJournal::kCapacity);
+  const uint64_t dropped = total - journal.size();
+  EXPECT_EQ(dropped, kThreads * kPerThread - TraceJournal::kCapacity);
   journal.SetEnabled(false);
   journal.Clear();
 }

@@ -1,0 +1,232 @@
+// chameleon_inspect: build (or compose via --spec) an index over a
+// synthetic dataset, replay a workload against it, and dump structure,
+// counters, and the per-unit access heatmap as one JSON document.
+//
+// The operational companion to --series: a bench run's series JSONL
+// shows *when* heat concentrated; this tool shows *where* — which
+// h-level unit key ranges are hot, with absolute read/write counts.
+//
+// Usage:
+//   chameleon_inspect [harness flags] [--index=NAME] [--dataset=NAME]
+//                     [--sigma=S] [--zipf=T] [--mix=W] [--top=K]
+//                     [--out=PATH] [--prom]
+//
+//   --index=NAME   leaf index to build (default Chameleon); the shared
+//                  --spec/--shards adapter stack wraps it like any bench
+//   --dataset=NAME UDEN | OSMC | LOGN | FACE (default UDEN)
+//   --sigma=S      use the Fig. 9 clustered-skew generator with cluster
+//                  sigma S instead of --dataset
+//   --zipf=T       zipf theta for the read workload (default 0.9 —
+//                  skewed enough that the hot range is visible)
+//   --mix=W        write ratio; 0 = read-only replay (default 0)
+//   --top=K        hottest units listed individually (default 8)
+//   --out=PATH     write the JSON there instead of stdout
+//   --prom         also print the Prometheus rendering of the metrics
+//                  registry to stderr after the replay
+//
+// Shared harness flags (--scale, --ops, --seed, --spec, --series, ...)
+// all apply; --scale sizes the dataset and --ops the replay.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/data/skew.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+namespace {
+
+struct InspectFlags {
+  std::string index = "Chameleon";
+  std::string dataset = "UDEN";
+  double sigma = 0.0;  // > 0 selects GenerateClusteredSkew
+  double zipf = 0.9;
+  double mix = 0.0;
+  size_t top = 8;
+  std::string out;
+  bool prom = false;
+};
+
+bool ParseDouble(const char* s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0' && errno == 0;
+}
+
+InspectFlags ParseInspectFlags(int argc, char** argv) {
+  InspectFlags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool ok = true;
+    if (std::strncmp(arg, "--index=", 8) == 0) {
+      f.index = arg + 8;
+    } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
+      f.dataset = arg + 10;
+    } else if (std::strncmp(arg, "--sigma=", 8) == 0) {
+      ok = ParseDouble(arg + 8, &f.sigma) && f.sigma > 0.0;
+    } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
+      ok = ParseDouble(arg + 7, &f.zipf) && f.zipf >= 0.0;
+    } else if (std::strncmp(arg, "--mix=", 6) == 0) {
+      ok = ParseDouble(arg + 6, &f.mix) && f.mix >= 0.0 && f.mix <= 1.0;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      char* end = nullptr;
+      f.top = std::strtoull(arg + 6, &end, 10);
+      ok = end != arg + 6 && *end == '\0';
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      f.out = arg + 6;
+    } else if (std::strcmp(arg, "--prom") == 0) {
+      f.prom = true;
+    } else if (!Options::IsHarnessFlag(arg)) {
+      std::fprintf(stderr, "ERROR: unknown flag \"%s\"\n", arg);
+      std::exit(2);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "ERROR: bad value in \"%s\"\n", arg);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+std::vector<Key> MakeKeys(const InspectFlags& f, const Options& opt) {
+  if (f.sigma > 0.0) {
+    return GenerateClusteredSkew(opt.scale, f.sigma, opt.seed);
+  }
+  for (DatasetKind kind : kAllDatasets) {
+    if (f.dataset == DatasetName(kind)) {
+      return GenerateDataset(kind, opt.scale, opt.seed);
+    }
+  }
+  std::fprintf(stderr,
+               "ERROR: unknown --dataset \"%s\" (UDEN, OSMC, LOGN, FACE)\n",
+               f.dataset.c_str());
+  std::exit(2);
+}
+
+void PrintUnitJson(FILE* out, const obs::UnitHeat& u, size_t index) {
+  std::fprintf(out,
+               "{\"unit\": %zu, \"lo\": %llu, \"hi\": %llu, "
+               "\"reads\": %llu, \"writes\": %llu, \"heat\": %llu}",
+               index, static_cast<unsigned long long>(u.lo),
+               static_cast<unsigned long long>(u.hi),
+               static_cast<unsigned long long>(u.reads),
+               static_cast<unsigned long long>(u.writes),
+               static_cast<unsigned long long>(u.heat()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const InspectFlags flags = ParseInspectFlags(argc, argv);
+  // The report powers --series/--trace/--json plumbing; the inspect
+  // JSON below is separate and always emitted.
+  JsonReport report("chameleon_inspect", opt);
+
+  const std::vector<Key> keys = MakeKeys(flags, opt);
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+  std::unique_ptr<KvIndex> index = MakeBenchIndex(flags.index, opt);
+  index->BulkLoad(data);
+
+  WorkloadGenerator gen(keys, opt.seed + 1);
+  const std::vector<Operation> ops =
+      flags.mix > 0.0 ? gen.MixedReadWrite(opt.ops, flags.mix)
+                      : gen.ReadOnly(opt.ops, flags.zipf);
+  const ReplayOptions ro =
+      flags.mix > 0.0 ? WriteReplayOptions(opt) : ReadReplayOptions(opt);
+  const ReplayResult result = Replay(index.get(), ops, ro, report.lat());
+
+  const obs::Heatmap heat = index->HeatmapSnapshot();
+  const obs::Heatmap hottest = obs::TopKHottest(heat, flags.top);
+  const size_t hot_index = obs::HottestUnit(heat);
+
+  FILE* out = stdout;
+  if (!flags.out.empty()) {
+    out = std::fopen(flags.out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "ERROR: cannot write --out=%s\n",
+                   flags.out.c_str());
+      return 1;
+    }
+  }
+
+  const IndexStats stats = index->Stats();
+  std::fprintf(out,
+               "{\n"
+               "  \"spec\": \"%s\",\n"
+               "  \"dataset\": \"%s\",\n"
+               "  \"sigma\": %.6g,\n"
+               "  \"lsn\": %.6g,\n"
+               "  \"scale\": %zu,\n"
+               "  \"ops\": %zu,\n"
+               "  \"zipf\": %.6g,\n"
+               "  \"mix\": %.6g,\n"
+               "  \"mean_ns\": %.6g,\n",
+               JsonEscape(ComposeSpec(flags.index, opt)).c_str(),
+               flags.sigma > 0.0 ? "clustered" : flags.dataset.c_str(),
+               flags.sigma, LocalSkewness(keys), opt.scale, opt.ops,
+               flags.zipf, flags.mix, result.MeanNs());
+  std::fprintf(out,
+               "  \"size\": %zu,\n"
+               "  \"size_bytes\": %zu,\n"
+               "  \"structure\": {\"max_height\": %d, \"avg_height\": %.6g, "
+               "\"max_error\": %.6g, \"avg_error\": %.6g, "
+               "\"num_nodes\": %zu},\n",
+               index->size(), index->SizeBytes(), stats.max_height,
+               stats.avg_height, stats.max_error, stats.avg_error,
+               stats.num_nodes);
+  std::fprintf(out,
+               "  \"build\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
+               "\"no_stats\": %s},\n",
+               JsonEscape(CHAMELEON_GIT_SHA).c_str(),
+               JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
+#ifdef CHAMELEON_NO_STATS
+               "true"
+#else
+               "false"
+#endif
+  );
+
+  std::fprintf(out, "  \"num_units\": %zu,\n", heat.size());
+  std::fprintf(out, "  \"hottest_unit\": ");
+  if (hot_index < heat.size()) {
+    PrintUnitJson(out, heat[hot_index], hot_index);
+  } else {
+    std::fprintf(out, "null");
+  }
+  std::fprintf(out, ",\n  \"top_units\": [");
+  for (size_t i = 0; i < hottest.size(); ++i) {
+    std::fprintf(out, "%s\n    ", i == 0 ? "" : ",");
+    PrintUnitJson(out, hottest[i], i);
+  }
+  std::fprintf(out, "%s],\n", hottest.empty() ? "" : "\n  ");
+  std::fprintf(out, "  \"heatmap\": %s,\n", obs::HeatmapJson(heat).c_str());
+
+  const obs::CounterSnapshot snap = obs::StatsRegistry::Get().Snapshot();
+  std::fprintf(out, "  \"counters\": {");
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    const std::string_view name =
+        obs::CounterName(static_cast<obs::Counter>(i));
+    std::fprintf(out, "%s\n    \"%.*s\": %llu", i == 0 ? "" : ",",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(snap[i]));
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", flags.out.c_str());
+  }
+
+  if (flags.prom) {
+    const std::string prom = obs::MetricsSampler::RenderProm();
+    std::fputs(prom.c_str(), stderr);
+  }
+  report.Write();
+  return 0;
+}
