@@ -17,6 +17,9 @@ using namespace chameleon::bench;
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
+  RejectRthreadsOnWrites(opt, "bench_fig11_readwrite",
+                         "every write ratio > 0 replays a mixed "
+                         "read/write stream");
   JsonReport report("fig11_readwrite", opt);
   const size_t init = opt.scale / 5;
   const double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
@@ -39,9 +42,11 @@ int main(int argc, char** argv) {
         index->BulkLoad(ToKeyValues(keys));
         WorkloadGenerator gen(keys, opt.seed + 1);
         const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
-        // Only the all-read point (write ratio 0) may fan out over
-        // --rthreads; every other ratio carries writes and stays on the
+        // The all-read point (write ratio 0) takes the read replay
+        // path; every other ratio carries writes and stays on the
         // driver's single-threaded path (single-writer indexes).
+        // --rthreads > 1 was rejected up front so all six ratio points
+        // are measured under the same threading and stay comparable.
         const double ns =
             Replay(index.get(), ops,
                    r == 0.0 ? ReadReplayOptions(opt) : WriteReplayOptions(opt),

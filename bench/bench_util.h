@@ -21,6 +21,7 @@
 #include "src/obs/phase_timer.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace_journal.h"
+#include "src/simd/probe_kernel.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/workload/driver.h"
@@ -74,7 +75,10 @@ inline std::string CompilerString() {
 ///                  single-index path)
 ///   --rthreads=R   foreground replay threads for read-only replays
 ///                  (driver layer; write-bearing streams stay on one
-///                  thread — the indexes are single-writer)
+///                  thread — the indexes are single-writer). Benches
+///                  whose measured stream contains writes reject
+///                  R > 1 loudly (RejectRthreadsOnWrites) instead of
+///                  silently ignoring the flag.
 ///   --warmup=N     leading ops replayed untimed before measurement
 ///   --series=PATH  run the obs::MetricsSampler for the duration of the
 ///                  bench and flush its time series (counters, histogram
@@ -287,6 +291,27 @@ inline ReplayOptions WriteReplayOptions(const Options& opt) {
   return ro;
 }
 
+/// Fails loudly when --rthreads > 1 was passed to a bench whose measured
+/// stream contains writes. The driver would have to ignore the flag (the
+/// indexes are single-writer), and a silently single-threaded run is
+/// worse than no run: its numbers look like an R-thread result. Benches
+/// that only fan reads out over --rthreads (fig15's read segments) keep
+/// using the flag and never call this. Mirrors the fig10 bad --index
+/// pattern: print the valid usage, exit(2).
+inline void RejectRthreadsOnWrites(const Options& opt, const char* bench,
+                                   const char* detail) {
+  if (opt.rthreads <= 1) return;
+  std::fprintf(stderr,
+               "ERROR: %s replays a write-bearing stream; --rthreads=%zu "
+               "is not valid here\n  %s\n  The indexes are single-writer: "
+               "write replays always run on one driver thread, so the flag "
+               "would be silently ignored and the result mislabeled. Drop "
+               "--rthreads, or use a read-only bench (e.g. "
+               "bench_fig08_readonly) to scale read threads.\n",
+               bench, opt.rthreads, detail);
+  std::exit(2);
+}
+
 /// Replays `ops` against `index` and returns mean ns/op. Lookups verify
 /// hits (a miss warns — the workload generator guarantees validity).
 /// With `hist` non-null every operation is timed individually into the
@@ -459,18 +484,24 @@ class JsonReport {
                  JsonEscape(SpecPattern(opt_)).c_str());
     // Build provenance (PR 6): every perf blob is attributable to an
     // exact source revision, compiler, and instrumentation state.
+    // simd_kernel (PR 7) records the probe-kernel tier the run actually
+    // dispatched to (cpuid + CHAMELEON_SIMD_LEVEL at runtime, not just
+    // what was compiled in) — perf diffs across hosts are meaningless
+    // without it.
     std::fprintf(f,
                  "  \"build\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
-                 "\"build_type\": \"%s\", \"no_stats\": %s},\n",
+                 "\"build_type\": \"%s\", \"no_stats\": %s, "
+                 "\"simd_kernel\": \"%s\"},\n",
                  JsonEscape(CHAMELEON_GIT_SHA).c_str(),
                  JsonEscape(CompilerString()).c_str(),
                  JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
 #ifdef CHAMELEON_NO_STATS
-                 "true"
+                 "true",
 #else
-                 "false"
+                 "false",
 #endif
-    );
+                 JsonEscape(simd::SimdLevelName(simd::ActiveSimdLevel()))
+                     .c_str());
     std::fprintf(f, "  \"throughput_mops\": %.6g,\n",
                  mean > 0.0 ? 1e3 / mean : 0.0);
     std::fprintf(f,

@@ -384,7 +384,10 @@ void ChameleonIndex::LookupBatch(std::span<const Key> keys, Value* values,
       }
       const EbhLeaf* leaf = &*node->leaf;
       const size_t base = leaf->HashSlot(key);
-      leaf->PrefetchSlot(base);
+      // Prefetch the whole clamped probe window, not just the home
+      // slot: stage 2's SIMD window probe touches up to three key
+      // cache lines when cd spans more than a line of slots.
+      leaf->PrefetchProbeWindow(base);
       staged[i] = {unit, leaf, base};
     }
     for (size_t i = 0; i < n; ++i) {

@@ -104,10 +104,11 @@ class ChameleonIndex final : public KvIndex {
   bool Lookup(Key key, Value* value) const override;
   /// Pipelined batched lookup: probes are processed in groups of ~8 — a
   /// first stage walks each key to its leaf, computes the EBH home slot
-  /// and issues software prefetches for the slot's key/value lines, and
-  /// a second stage finishes the (now cache-warm) probes. Bit-identical
-  /// results to per-key Lookup; takes the same per-interval Query-Locks
-  /// when the retrainer is live.
+  /// and issues software prefetches for the clamped probe window's key
+  /// lines plus the home value line, and a second stage finishes the
+  /// (now cache-warm) probes through the dispatched SIMD window kernel.
+  /// Bit-identical results to per-key Lookup; takes the same
+  /// per-interval Query-Locks when the retrainer is live.
   void LookupBatch(std::span<const Key> keys, Value* values,
                    bool* found) const override;
   bool Insert(Key key, Value value) override;

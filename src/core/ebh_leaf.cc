@@ -62,38 +62,22 @@ size_t EbhLeaf::HashSlot(Key key) const {
 }
 
 size_t EbhLeaf::Place(Key key, Value value) {
-  const size_t c = capacity();
   const size_t base = HashSlot(key);
   if (!occupied(base)) {
     keys_[base] = key;
     values_[base] = value;
     return 0;
   }
-  // Nearest free slot, alternating sides. Each side is dropped from the
-  // scan once it runs off the array end, so a probe in a nearly-full
-  // table pays one bound check per *live* side instead of re-testing
-  // both bounds for up to `c` offsets.
-  bool up_open = base + 1 < c;
-  bool down_open = base > 0;
-  for (size_t off = 1; up_open || down_open; ++off) {
-    if (up_open) {
-      if (!occupied(base + off)) {
-        keys_[base + off] = key;
-        values_[base + off] = value;
-        return off;
-      }
-      up_open = base + off + 1 < c;
-    }
-    if (down_open) {
-      if (!occupied(base - off)) {
-        keys_[base - off] = key;
-        values_[base - off] = value;
-        return off;
-      }
-      down_open = base > off;
-    }
-  }
-  return std::numeric_limits<size_t>::max();
+  // Nearest free slot: the kernel scans for the empty-slot sentinel in
+  // vector-width blocks alternating outward from base, reproducing the
+  // historical scalar order exactly — minimal displacement, upper side
+  // on ties (simd::ProbeKernels::find_nearest contract).
+  const size_t slot =
+      kernels_->find_nearest(keys_.data(), capacity(), base, kEbhEmptySlot);
+  if (slot == simd::kNotFound) return std::numeric_limits<size_t>::max();
+  keys_[slot] = key;
+  values_[slot] = value;
+  return slot > base ? slot - base : base - slot;
 }
 
 void EbhLeaf::Build(std::span<const KeyValue> data) {
@@ -161,19 +145,20 @@ bool EbhLeaf::LookupAt(size_t base, Key key, Value* value) const {
   if (cd_ == 0) {
     return false;
   }
-  // Windowed scan over [base-cd, base+cd] clamped to the array: one
-  // contiguous forward pass with a conditional-select accumulator and no
-  // early exit, which the compiler can vectorize. Keys are unique, so at
-  // most one slot matches and scan order cannot change the result.
+  // Windowed scan over [base-cd, base+cd] clamped to the array, through
+  // the dispatched SIMD kernel (8 slot compares per AVX-512 instruction,
+  // movemask to locate the unique hit; scalar tier keeps the original
+  // conditional-select loop). Keys are unique, so at most one slot
+  // matches and scan order cannot change the result.
   const size_t c = capacity();
   const size_t lo = base > cd_ ? base - cd_ : 0;
   const size_t hi = base + cd_ < c ? base + cd_ : c - 1;
-  size_t pos = c;  // c = "not found"
-  for (size_t i = lo; i <= hi; ++i) {
-    pos = keys_[i] == key ? i : pos;
-  }
-  if (pos == c) {
-    CHAMELEON_STAT_ADD(kEbhProbeSteps, cd_);
+  const size_t pos = kernels_->find_in_window(keys_.data(), lo, hi, key);
+  if (pos == simd::kNotFound) {
+    // Charge the displacement actually scanned: near the array edges
+    // the window is clamped, so a miss costs less than the nominal cd_
+    // per side (previously over-reported as cd_ at leaf boundaries).
+    CHAMELEON_STAT_ADD(kEbhProbeSteps, std::max(hi - base, base - lo));
     return false;
   }
   if (value != nullptr) *value = values_[pos];
@@ -230,35 +215,33 @@ bool EbhLeaf::Erase(Key key) {
   const size_t base = HashSlot(key);
   const size_t lo = base > cd_ ? base - cd_ : 0;
   const size_t hi = base + cd_ < c ? base + cd_ : c - 1;
-  for (size_t i = lo; i <= hi; ++i) {
-    if (keys_[i] == key) {
-      keys_[i] = kEbhEmptySlot;
-      // Zero the payload with the sentinel: empty slots must never
-      // carry a stale value (serialization persists the raw arrays, and
-      // the invariant "!occupied => value == 0" keeps snapshots
-      // reproducible).
-      values_[i] = 0;
-      --num_keys_;
-      CHAMELEON_STAT_INC(kEbhErases);
-      return true;
-    }
-  }
-  return false;
+  const size_t i = kernels_->find_in_window(keys_.data(), lo, hi, key);
+  if (i == simd::kNotFound) return false;
+  keys_[i] = kEbhEmptySlot;
+  // Zero the payload with the sentinel: empty slots must never carry a
+  // stale value (serialization persists the raw arrays, and the
+  // invariant "!occupied => value == 0" keeps snapshots reproducible —
+  // and the SIMD paths rely on sentinel slots never holding a live key).
+  values_[i] = 0;
+  --num_keys_;
+  CHAMELEON_STAT_INC(kEbhErases);
+  return true;
 }
 
 void EbhLeaf::CollectUnsorted(std::vector<KeyValue>* out) const {
-  for (size_t i = 0; i < capacity(); ++i) {
-    if (occupied(i)) out->push_back({keys_[i], values_[i]});
-  }
+  // [kMinKey, kMaxKey] with the sentinel excluded == "every occupied
+  // slot"; the kernel's gather-compact walks vector-width blocks and
+  // extracts set mask bits, skipping empty regions 4-8 slots at a time.
+  kernels_->range_collect(keys_.data(), values_.data(), capacity(), kMinKey,
+                          kMaxKey, kEbhEmptySlot, out);
 }
 
 size_t EbhLeaf::RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const {
   const size_t before = out->size();
-  for (size_t i = 0; i < capacity(); ++i) {
-    if (occupied(i) && keys_[i] >= lo && keys_[i] <= hi) {
-      out->push_back({keys_[i], values_[i]});
-    }
-  }
+  // Collect-then-sort over the unordered slots (the paper's trade);
+  // the collect is the kernel's vectorized gather-compact.
+  kernels_->range_collect(keys_.data(), values_.data(), capacity(), lo, hi,
+                          kEbhEmptySlot, out);
   std::sort(out->begin() + before, out->end());
   return out->size() - before;
 }

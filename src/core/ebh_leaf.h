@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/simd/probe_kernel.h"
 #include "src/util/common.h"
 
 namespace chameleon {
@@ -71,6 +72,22 @@ class EbhLeaf {
 #endif
   }
 
+  /// PrefetchSlot plus the edges of the error-bounded probe window
+  /// [base-cd, base+cd] (clamped): with cd beyond one cache line of
+  /// keys, the vectorized window probe touches up to three key lines,
+  /// and the batched read path wants all of them in flight before the
+  /// probe stage runs. `base` must equal HashSlot(key).
+  void PrefetchProbeWindow(size_t base) const {
+    PrefetchSlot(base);
+#if defined(__GNUC__) || defined(__clang__)
+    if (cd_ == 0) return;
+    const size_t c = capacity();
+    __builtin_prefetch(keys_.data() + (base > cd_ ? base - cd_ : 0), 0, 1);
+    __builtin_prefetch(
+        keys_.data() + (base + cd_ < c ? base + cd_ : c - 1), 0, 1);
+#endif
+  }
+
   /// Returns false on duplicate. Expands (rehashes at Theorem-1 capacity
   /// for the new population) when the load factor crosses the threshold
   /// or no slot is reachable within the probe bound.
@@ -107,6 +124,11 @@ class EbhLeaf {
   /// actual prediction error of the EBH model (Table V's Max/AvgError).
   void AccumulateError(double* err_sum, double* err_max) const;
 
+  /// The SIMD kernel tier this leaf's probe/insert/scan paths dispatch
+  /// to (fixed at construction from simd::ActiveKernels(); see
+  /// DESIGN.md §12). Exposed for tests and tooling.
+  const simd::ProbeKernels& probe_kernels() const { return *kernels_; }
+
   // --- Serialization support (slot-exact persistence) ---------------------
   const std::vector<Key>& raw_keys() const { return keys_; }
   const std::vector<Value>& raw_values() const { return values_; }
@@ -133,6 +155,12 @@ class EbhLeaf {
   Key uk_;
   double tau_;
   double alpha_;
+  // The dispatched SIMD kernel table (points at immutable static data;
+  // copies/moves of the leaf share it). Cached per leaf so the hot
+  // paths pay one indirect call with no dispatch branch, and so a
+  // simd::SetActiveSimdLevel override only affects leaves built after
+  // it (differential tests rebuild their indexes per tier).
+  const simd::ProbeKernels* kernels_ = &simd::ActiveKernels();
   // Cached alpha * c / (uk - lk): HashSlot is one multiply + fmod.
   double hash_scale_ = 0.0;
   bool occupied(size_t i) const { return keys_[i] != kEbhEmptySlot; }

@@ -1,0 +1,178 @@
+// Runtime kernel dispatch: one cpuid-based decision per process (plus a
+// test/tooling override), so one binary carries every tier its
+// architecture allows and probes never re-check CPU features. EbhLeaf
+// caches the dispatched table pointer at construction — the hot paths
+// pay one indirect call, no dispatch branch.
+
+#include "src/simd/probe_kernel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/simd/kernels_impl.h"
+
+namespace chameleon::simd {
+namespace {
+
+const ProbeKernels* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return &ScalarKernels();
+    case SimdLevel::kSse2: return detail::Sse2Kernels();
+    case SimdLevel::kAvx2: return detail::Avx2Kernels();
+    case SimdLevel::kAvx512: return detail::Avx512Kernels();
+    case SimdLevel::kNeon: return detail::NeonKernels();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+      // SSE2 is part of the x86-64 baseline; reaching this tier's table
+      // (non-null only on x86-64 builds) implies support.
+      return true;
+    case SimdLevel::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      // __builtin_cpu_supports also verifies OS XSAVE state for the
+      // ymm/zmm registers, not just the CPUID feature bit.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is architecturally guaranteed on A64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Preference order for auto-dispatch: widest usable tier wins. NEON
+/// and the x86 tiers are mutually exclusive per architecture, so the
+/// flat ordering is safe.
+constexpr SimdLevel kPreference[] = {SimdLevel::kAvx512, SimdLevel::kAvx2,
+                                     SimdLevel::kNeon, SimdLevel::kSse2};
+
+SimdLevel ComputeDispatchLevel() {
+  if (const char* env = std::getenv("CHAMELEON_SIMD_LEVEL")) {
+    SimdLevel forced;
+    if (ParseSimdLevel(env, &forced) && TableFor(forced) != nullptr &&
+        CpuSupports(forced)) {
+      return forced;
+    }
+    std::fprintf(stderr,
+                 "WARNING: CHAMELEON_SIMD_LEVEL=%s is not available on this "
+                 "host/build; auto-dispatching instead\n",
+                 env);
+  }
+  for (SimdLevel level : kPreference) {
+    if (TableFor(level) != nullptr && CpuSupports(level)) return level;
+  }
+  return SimdLevel::kScalar;
+}
+
+std::atomic<const ProbeKernels*> g_active{nullptr};
+
+const ProbeKernels* ActivePtr() {
+  const ProbeKernels* p = g_active.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    const ProbeKernels* fresh = TableFor(ComputeDispatchLevel());
+    // First initializer wins; racing threads compute the same answer
+    // (the env/cpuid inputs are fixed for the process lifetime).
+    if (!g_active.compare_exchange_strong(p, fresh, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      return p;
+    }
+    p = fresh;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+    case SimdLevel::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(std::string_view name, SimdLevel* out) {
+  for (size_t i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (name == SimdLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+const ProbeKernels* KernelsForLevel(SimdLevel level) {
+  return TableFor(level);
+}
+
+SimdLevel DetectSimdLevel() { return ComputeDispatchLevel(); }
+
+std::vector<SimdLevel> AvailableSimdLevels() {
+  std::vector<SimdLevel> levels;
+  levels.push_back(SimdLevel::kScalar);
+  for (size_t i = 1; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (TableFor(level) != nullptr && CpuSupports(level)) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+const ProbeKernels& ActiveKernels() { return *ActivePtr(); }
+
+SimdLevel ActiveSimdLevel() { return ActivePtr()->level; }
+
+bool SetActiveSimdLevel(SimdLevel level) {
+  const ProbeKernels* table = TableFor(level);
+  if (table == nullptr || !CpuSupports(level)) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+std::string CpuFeatureString() {
+  std::string features;
+  const auto add = [&features](const char* name, bool present) {
+    if (!present) return;
+    if (!features.empty()) features += ' ';
+    features += name;
+  };
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  add("sse2", true);  // x86-64 baseline
+  add("sse4.2", __builtin_cpu_supports("sse4.2") != 0);
+  add("avx", __builtin_cpu_supports("avx") != 0);
+  add("avx2", __builtin_cpu_supports("avx2") != 0);
+  add("avx512f", __builtin_cpu_supports("avx512f") != 0);
+  add("avx512bw", __builtin_cpu_supports("avx512bw") != 0);
+  add("avx512vl", __builtin_cpu_supports("avx512vl") != 0);
+#elif defined(__aarch64__)
+  add("neon", true);
+#else
+  add("none", true);
+#endif
+  return features;
+}
+
+}  // namespace chameleon::simd

@@ -1,0 +1,78 @@
+// AVX2 tier: 4x64-bit lanes. Compiled with -mavx2 (per-file flag in
+// src/CMakeLists.txt) and only ever dispatched to after the runtime
+// cpuid check in dispatch.cc, so one binary can carry this TU and still
+// run on pre-AVX2 silicon. AVX2 has only *signed* 64-bit ordering, so
+// the unsigned range compares bias both sides by 2^63 first.
+
+#include "src/simd/kernels_impl.h"
+
+#if defined(CHAMELEON_SIMD_ENABLED) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace chameleon::simd::detail {
+namespace {
+
+struct Avx2Traits {
+  static constexpr size_t kLanes = 4;
+  using Vec = __m256i;
+  static Vec Broadcast(Key k) {
+    return _mm256_set1_epi64x(static_cast<long long>(k));
+  }
+  static Vec LoadU(const Key* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static uint32_t EqMask(Vec v, Vec needle) {
+    return static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, needle))));
+  }
+
+  struct RangeCtx {
+    Vec bias;       // 2^63 in every lane: unsigned -> signed order bias
+    Vec lo_biased;  // lo ^ 2^63
+    Vec hi_biased;  // hi ^ 2^63
+    Vec sent;       // sentinel, unbiased (equality needs no bias)
+  };
+  static RangeCtx MakeRangeCtx(Key lo, Key hi, Key sentinel) {
+    const Vec bias = _mm256_set1_epi64x(static_cast<long long>(1ULL << 63));
+    return {bias,
+            _mm256_xor_si256(Broadcast(lo), bias),
+            _mm256_xor_si256(Broadcast(hi), bias),
+            Broadcast(sentinel)};
+  }
+  static uint32_t RangeMask(Vec v, const RangeCtx& ctx) {
+    const Vec vb = _mm256_xor_si256(v, ctx.bias);
+    const Vec lt_lo = _mm256_cmpgt_epi64(ctx.lo_biased, vb);  // v < lo
+    const Vec gt_hi = _mm256_cmpgt_epi64(vb, ctx.hi_biased);  // v > hi
+    const Vec is_sent = _mm256_cmpeq_epi64(v, ctx.sent);
+    const Vec excluded =
+        _mm256_or_si256(_mm256_or_si256(lt_lo, gt_hi), is_sent);
+    const uint32_t out_mask = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(excluded)));
+    return ~out_mask & 0xFu;
+  }
+};
+
+}  // namespace
+
+const ProbeKernels* Avx2Kernels() {
+  static constexpr ProbeKernels kTable = {
+      SimdLevel::kAvx2,
+      "avx2",
+      &Kernels<Avx2Traits>::FindInWindow,
+      &Kernels<Avx2Traits>::FindNearest,
+      &Kernels<Avx2Traits>::RangeCollect,
+      "avx2",
+  };
+  return &kTable;
+}
+
+}  // namespace chameleon::simd::detail
+
+#else  // tier not buildable on this configuration
+
+namespace chameleon::simd::detail {
+const ProbeKernels* Avx2Kernels() { return nullptr; }
+}  // namespace chameleon::simd::detail
+
+#endif

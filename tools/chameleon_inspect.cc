@@ -9,7 +9,7 @@
 // Usage:
 //   chameleon_inspect [harness flags] [--index=NAME] [--dataset=NAME]
 //                     [--sigma=S] [--zipf=T] [--mix=W] [--top=K]
-//                     [--out=PATH] [--prom]
+//                     [--out=PATH] [--prom] [--kernels]
 //
 //   --index=NAME   leaf index to build (default Chameleon); the shared
 //                  --spec/--shards adapter stack wraps it like any bench
@@ -23,6 +23,11 @@
 //   --out=PATH     write the JSON there instead of stdout
 //   --prom         also print the Prometheus rendering of the metrics
 //                  registry to stderr after the replay
+//   --kernels      print CPU features, the SIMD probe-kernel tiers this
+//                  build+host can run, the dispatched tier, and the
+//                  kernel selected per operation (JSON), then exit.
+//                  Honors CHAMELEON_SIMD_LEVEL, so it shows exactly
+//                  what a bench run under the same env would use.
 //
 // Shared harness flags (--scale, --ops, --seed, --spec, --series, ...)
 // all apply; --scale sizes the dataset and --ops the replay.
@@ -50,6 +55,7 @@ struct InspectFlags {
   size_t top = 8;
   std::string out;
   bool prom = false;
+  bool kernels = false;
 };
 
 bool ParseDouble(const char* s, double* out) {
@@ -82,6 +88,8 @@ InspectFlags ParseInspectFlags(int argc, char** argv) {
       f.out = arg + 6;
     } else if (std::strcmp(arg, "--prom") == 0) {
       f.prom = true;
+    } else if (std::strcmp(arg, "--kernels") == 0) {
+      f.kernels = true;
     } else if (!Options::IsHarnessFlag(arg)) {
       std::fprintf(stderr, "ERROR: unknown flag \"%s\"\n", arg);
       std::exit(2);
@@ -120,11 +128,54 @@ void PrintUnitJson(FILE* out, const obs::UnitHeat& u, size_t index) {
                static_cast<unsigned long long>(u.heat()));
 }
 
+// --kernels: the operational answer to "which probe kernel will this
+// host actually run?". Dumps the cpuid feature set, the tiers present
+// in this build AND supported by this CPU, the dispatched tier (after
+// any CHAMELEON_SIMD_LEVEL override), and the kernel each EbhLeaf
+// operation resolves to — range_collect can differ from the tier name
+// (SSE2 has no unsigned 64-bit compare, so its table borrows the
+// scalar range kernel).
+void PrintKernels() {
+  const simd::ProbeKernels& k = simd::ActiveKernels();
+  std::printf("{\n  \"cpu_features\": \"%s\",\n",
+              JsonEscape(simd::CpuFeatureString()).c_str());
+  std::printf("  \"available_levels\": [");
+  const std::vector<simd::SimdLevel> levels = simd::AvailableSimdLevels();
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::printf("%s\"%s\"", i == 0 ? "" : ", ",
+                std::string(simd::SimdLevelName(levels[i])).c_str());
+  }
+  std::printf("],\n");
+  std::printf("  \"active_level\": \"%s\",\n", k.name);
+  std::printf(
+      "  \"kernels\": {\"find_in_window\": \"%s\", \"find_nearest\": "
+      "\"%s\", \"range_collect\": \"%s\"},\n",
+      k.name, k.name, k.range_name);
+  std::printf("  \"simd_build\": %s\n}\n",
+#ifdef CHAMELEON_SIMD_ENABLED
+              "true"
+#else
+              "false"
+#endif
+  );
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
   const InspectFlags flags = ParseInspectFlags(argc, argv);
+  if (flags.kernels) {
+    PrintKernels();
+    return 0;
+  }
+  // Writes in the replay stream pin it to one driver thread, so a
+  // multi-threaded --rthreads request cannot be honored — reject it
+  // like the benches do rather than report a mislabeled run.
+  if (flags.mix > 0.0) {
+    RejectRthreadsOnWrites(opt, "chameleon_inspect",
+                           "--mix > 0 makes the replay write-bearing");
+  }
   // The report powers --series/--trace/--json plumbing; the inspect
   // JSON below is separate and always emitted.
   JsonReport report("chameleon_inspect", opt);
@@ -183,15 +234,16 @@ int main(int argc, char** argv) {
                stats.num_nodes);
   std::fprintf(out,
                "  \"build\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
-               "\"no_stats\": %s},\n",
+               "\"no_stats\": %s, \"simd_kernel\": \"%s\"},\n",
                JsonEscape(CHAMELEON_GIT_SHA).c_str(),
                JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
 #ifdef CHAMELEON_NO_STATS
-               "true"
+               "true",
 #else
-               "false"
+               "false",
 #endif
-  );
+               JsonEscape(simd::SimdLevelName(simd::ActiveSimdLevel()))
+                   .c_str());
 
   std::fprintf(out, "  \"num_units\": %zu,\n", heat.size());
   std::fprintf(out, "  \"hottest_unit\": ");
