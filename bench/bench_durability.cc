@@ -68,6 +68,15 @@ std::unique_ptr<DurableIndex> MakeDurable(const std::string& dir,
   return index;
 }
 
+/// Throughput for one section-1 replay: the historical busy-time mean
+/// (1e3 / MeanNs, bit-comparable with pre-multi-writer blobs) on one
+/// thread, the aggregate wall-clock rate once writers fan out.
+double SectionMops(const ReplayResult& result, size_t threads) {
+  if (threads > 1) return result.ThroughputMops();
+  const double ns = result.MeanNs();
+  return ns > 0.0 ? 1e3 / ns : 0.0;
+}
+
 const char* FsyncName(FsyncPolicy p) {
   switch (p) {
     case FsyncPolicy::kAlways: return "always";
@@ -189,8 +198,15 @@ int main(int argc, char** argv) {
   const std::vector<KeyValue> data = ToKeyValues(keys);
 
   // --- Section 1: write-path overhead on the Fig. 11 mixed workload ---------
+  // Replays honor --wthreads/--rthreads (WriteReplayOptions): with W > 1
+  // the same mixed stream runs on W key-partitioned writer threads, so
+  // this section doubles as the multi-writer WAL overhead measurement
+  // (group commit under real contention) and the phase-sum additivity
+  // check below covers the concurrent path too.
+  const size_t write_threads = WriteThreads(opt);
   std::printf("=== durability: write-path overhead (FACE, 50%% writes, "
-              "%zu ops) ===\n", opt.ops);
+              "%zu ops, %zu write thread%s) ===\n",
+              opt.ops, write_threads, write_threads == 1 ? "" : "s");
   std::printf("%-22s %12s %10s\n", "config", "Mops/s", "overhead");
   PrintRule(46);
 
@@ -209,7 +225,10 @@ int main(int argc, char** argv) {
     index->BulkLoad(data);
     WorkloadGenerator gen(keys, opt.seed + 1);
     const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, 0.5);
-    baseline_mops = ReplayThroughputMops(index.get(), ops, report.lat());
+    baseline_mops =
+        SectionMops(Replay(index.get(), ops, WriteReplayOptions(opt),
+                           report.lat()),
+                    write_threads);
     std::printf("%-22s %12.3f %9s\n", "Chameleon (volatile)", baseline_mops,
                 "--");
     report.AddRow()
@@ -245,7 +264,10 @@ int main(int argc, char** argv) {
     index->BulkLoad(data);
     WorkloadGenerator gen(keys, opt.seed + 1);
     const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, 0.5);
-    const double mops = ReplayThroughputMops(index.get(), ops, report.lat());
+    const double mops =
+        SectionMops(Replay(index.get(), ops, WriteReplayOptions(opt),
+                           report.lat()),
+                    write_threads);
     const double overhead =
         baseline_mops > 0.0 ? (baseline_mops / mops - 1.0) * 100.0 : 0.0;
     std::printf("%-22s %12.3f %8.1f%%\n", label.c_str(), mops, overhead);
@@ -258,13 +280,15 @@ int main(int argc, char** argv) {
     // Write-latency breakdown: one row per phase that recorded samples,
     // plus a consistency row. kWalAppend + kGroupCommitWait + kApply
     // are the additive phases of kWriteTotal (kFsync nests inside the
-    // leader's commit wait; kRetrainBlock needs a live retrainer). Each
+    // leader's commit wait; kRetrainBlock nests inside kApply). Each
     // phase's contribution is weighted by its own sample count — under
     // fsync=everyN only 1-in-N writes pays a commit wait, so its mean
     // must be amortized over all writes before comparing against the
-    // write_total mean. The residual is writer-mutex wait, bookkeeping,
-    // and (at sub-microsecond write latency) the nested spans' own
-    // clock-read cost.
+    // write_total mean. The residual is the shared maintenance-gate
+    // acquisition, bookkeeping, and (at sub-microsecond write latency)
+    // the nested spans' own clock-read cost. Spans are per-call RAII on
+    // each writer's own stack, so the count-weighted sum stays additive
+    // with any number of concurrent writers — enforced below.
     double additive_sum_ns = 0.0;
     std::printf("  %-20s %10s %10s %10s %10s\n", "phase", "count",
                 "mean_ns", "p50_ns", "p99_ns");
@@ -309,6 +333,19 @@ int main(int argc, char** argv) {
           .Num("additive_mean_ns", additive_mean_ns)
           .Num("write_total_mean_ns", total_mean_ns)
           .Num("coverage_pct", coverage_pct);
+      // Additivity invariant: a phase sum above write_total means a
+      // span got double-counted (e.g. one phase's work attributed to
+      // two writers). 10% headroom absorbs clock-read noise on
+      // sub-microsecond writes.
+      if (additive_mean_ns <= 0.0 ||
+          additive_mean_ns > total_mean_ns * 1.10) {
+        std::fprintf(stderr,
+                     "FAIL: %s phase sum %0.f ns not additive against "
+                     "write_total %.0f ns (coverage %.1f%%)\n",
+                     label.c_str(), additive_mean_ns, total_mean_ns,
+                     coverage_pct);
+        return 1;
+      }
     }
     index.reset();
     WipeDurableDirs(spec);

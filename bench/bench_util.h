@@ -1,6 +1,7 @@
 #ifndef CHAMELEON_BENCH_BENCH_UTIL_H_
 #define CHAMELEON_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -73,12 +74,22 @@ inline std::string CompilerString() {
 ///   --shards=N     sugar for prepending "Sharded<N>" to --spec (1 =
 ///                  the plain stack, bit-identical to the historical
 ///                  single-index path)
-///   --rthreads=R   foreground replay threads for read-only replays
-///                  (driver layer; write-bearing streams stay on one
-///                  thread — the indexes are single-writer). Benches
-///                  whose measured stream contains writes reject
-///                  R > 1 loudly (RejectRthreadsOnWrites) instead of
-///                  silently ignoring the flag.
+///   --rthreads=R   foreground replay threads (driver layer). Read-only
+///                  replays fan out over contiguous chunks; write-bearing
+///                  replays use R too (effective write threads =
+///                  max(--wthreads, --rthreads)) when the composed stack
+///                  supports concurrent writes — the driver partitions
+///                  the stream by key ownership so results stay
+///                  oracle-equivalent to a serial replay. Stacks that
+///                  do not support concurrent writes fail loudly
+///                  (RequireConcurrentWritesOrDie) or are skipped by
+///                  sweep benches with a notice — never silently
+///                  single-threaded.
+///   --wthreads=W   explicit write-side thread count for write-bearing
+///                  replays (default 1). Effective write threads =
+///                  max(W, R); keeping the two flags separate lets a
+///                  bench scale its read phases without forcing its
+///                  write phases multi-threaded.
 ///   --warmup=N     leading ops replayed untimed before measurement
 ///   --series=PATH  run the obs::MetricsSampler for the duration of the
 ///                  bench and flush its time series (counters, histogram
@@ -98,6 +109,7 @@ struct Options {
   size_t batch = 1;
   size_t shards = 1;
   size_t rthreads = 1;
+  size_t wthreads = 1;
   size_t warmup = 0;
   size_t sample_ms = 100;
   /// Canonicalized adapter stack every swept index is wrapped in
@@ -148,6 +160,8 @@ struct Options {
          [](Options& o, const char* v) { return ApplySize<true>(v, &o.shards); }},
         {"--rthreads=",
          [](Options& o, const char* v) { return ApplySize<true>(v, &o.rthreads); }},
+        {"--wthreads=",
+         [](Options& o, const char* v) { return ApplySize<true>(v, &o.wthreads); }},
         {"--warmup=",
          [](Options& o, const char* v) { return ApplySize<false>(v, &o.warmup); }},
         {"--sample-ms=",
@@ -282,33 +296,55 @@ inline ReplayOptions ReadReplayOptions(const Options& opt) {
   return ro;
 }
 
-/// Replay options for write-bearing replays: single driver thread (the
-/// indexes are single-writer), --batch still applies to lookup runs.
+/// Effective driver threads for a write-bearing replay: a mixed stream
+/// is replayed on max(--wthreads, --rthreads) threads, so either flag
+/// alone scales the whole replay and neither silently caps the other.
+inline size_t WriteThreads(const Options& opt) {
+  return std::max(opt.wthreads, opt.rthreads);
+}
+
+/// Replay options for write-bearing replays: WriteThreads(opt) driver
+/// threads (the driver partitions by key ownership and enables the
+/// stack's concurrent-write mode when > 1), --batch still applies to
+/// lookup runs within each thread's owned stream.
 inline ReplayOptions WriteReplayOptions(const Options& opt) {
   ReplayOptions ro;
+  ro.threads = WriteThreads(opt);
   ro.batch = opt.batch;
   ro.warmup = opt.warmup;
   return ro;
 }
 
-/// Fails loudly when --rthreads > 1 was passed to a bench whose measured
-/// stream contains writes. The driver would have to ignore the flag (the
-/// indexes are single-writer), and a silently single-threaded run is
-/// worse than no run: its numbers look like an R-thread result. Benches
-/// that only fan reads out over --rthreads (fig15's read segments) keep
-/// using the flag and never call this. Mirrors the fig10 bad --index
-/// pattern: print the valid usage, exit(2).
-inline void RejectRthreadsOnWrites(const Options& opt, const char* bench,
-                                   const char* detail) {
-  if (opt.rthreads <= 1) return;
+/// True when a multi-threaded write-bearing replay was requested but
+/// `index` cannot take concurrent writers. Sweep benches (fig11, fig13)
+/// use this per swept index: unsupported stacks are skipped with a
+/// printed notice so the supported rows still run under the requested
+/// threading — and the run fails loudly only if *nothing* supported it.
+inline bool LacksConcurrentWrites(const KvIndex& index, const Options& opt) {
+  return WriteThreads(opt) > 1 && !index.SupportsConcurrentWrites();
+}
+
+/// Capability gate for single-stack tools: fails loudly (exit 2) when a
+/// multi-threaded write-bearing replay was requested against a stack
+/// that cannot accept concurrent writers. A silently single-threaded
+/// run is worse than no run — its numbers look like an R-thread result.
+/// Replaces the old hardcoded RejectRthreadsOnWrites name lists: the
+/// stack itself is asked (KvIndex::SupportsConcurrentWrites), so new
+/// capable indexes work without harness edits and incapable ones can
+/// never slip through. Mirrors the fig10 bad --index pattern.
+inline void RequireConcurrentWritesOrDie(const KvIndex& index,
+                                         const Options& opt, const char* bench,
+                                         const char* detail) {
+  if (!LacksConcurrentWrites(index, opt)) return;
   std::fprintf(stderr,
-               "ERROR: %s replays a write-bearing stream; --rthreads=%zu "
-               "is not valid here\n  %s\n  The indexes are single-writer: "
-               "write replays always run on one driver thread, so the flag "
-               "would be silently ignored and the result mislabeled. Drop "
-               "--rthreads, or use a read-only bench (e.g. "
-               "bench_fig08_readonly) to scale read threads.\n",
-               bench, opt.rthreads, detail);
+               "ERROR: %s replays a write-bearing stream on %zu threads, "
+               "but \"%.*s\" does not support concurrent writes\n  %s\n  "
+               "Drop --rthreads/--wthreads, or pick a stack whose "
+               "SupportsConcurrentWrites() is true (e.g. Chameleon, "
+               "including under Durable/Sharded adapters).\n",
+               bench, WriteThreads(opt),
+               static_cast<int>(index.Name().size()), index.Name().data(),
+               detail);
   std::exit(2);
 }
 
@@ -475,12 +511,13 @@ class JsonReport {
                  "  \"batch\": %zu,\n"
                  "  \"shards\": %zu,\n"
                  "  \"rthreads\": %zu,\n"
+                 "  \"wthreads\": %zu,\n"
                  "  \"sample_ms\": %zu,\n"
                  "  \"spec\": \"%s\",\n",
                  JsonEscape(bench_).c_str(), opt_.scale, opt_.ops,
                  static_cast<unsigned long long>(opt_.seed),
                  GlobalPool().num_threads(), opt_.batch, opt_.shards,
-                 opt_.rthreads, opt_.sample_ms,
+                 opt_.rthreads, opt_.wthreads, opt_.sample_ms,
                  JsonEscape(SpecPattern(opt_)).c_str());
     // Build provenance (PR 6): every perf blob is attributable to an
     // exact source revision, compiler, and instrumentation state.

@@ -99,6 +99,28 @@ class KvIndex {
   /// parallel, when its shards are durable). The default — a purely
   /// volatile index has nothing to recover from — returns false.
   virtual bool Recover() { return false; }
+
+  /// Capability query: can this stack accept Insert/Erase from multiple
+  /// threads concurrently (after EnableConcurrentWrites())? Harnesses
+  /// gate multi-writer replay modes on this instead of hardcoded index
+  /// lists. The default — baselines keep the single-writer contract —
+  /// is false. Adapters delegate: DurableIndex passes through,
+  /// ShardedIndex requires every shard to support it.
+  virtual bool SupportsConcurrentWrites() const { return false; }
+
+  /// Switches the index into multi-writer mode (per-interval writer
+  /// locks on the core write path). Must be called before concurrent
+  /// writers start, never mid-traffic. Returns false — and leaves the
+  /// index in single-writer mode — when the stack does not support
+  /// concurrent writes. Idempotent.
+  virtual bool EnableConcurrentWrites() { return false; }
+
+  /// Per-unit write-contention map: same shape as HeatmapSnapshot() but
+  /// `writes` counts contended writer-lock acquisitions (spins observed
+  /// by LockWrite) instead of write hits, and `reads` is zero. Empty for
+  /// indexes without per-interval writer locks. Safe to call live (the
+  /// metrics sampler polls it).
+  virtual obs::Heatmap WriteContentionSnapshot() const { return {}; }
 };
 
 }  // namespace chameleon

@@ -298,9 +298,9 @@ void ChameleonIndex::SetQuerySample(std::vector<Key> query_keys) {
 }
 
 void ChameleonIndex::BulkLoad(std::span<const KeyValue> data) {
-  size_ = data.size();
+  size_.store(data.size(), std::memory_order_relaxed);
   built_size_ = data.size();
-  updates_since_build_ = 0;
+  updates_since_build_.store(0, std::memory_order_relaxed);
   total_retrains_.store(0);
   total_full_rebuilds_ = 0;
   BuildFrame(data);
@@ -309,18 +309,18 @@ void ChameleonIndex::BulkLoad(std::span<const KeyValue> data) {
 void ChameleonIndex::MaybeFullReconstruct() {
   if (config_.full_rebuild_threshold_pct == 0) return;
   // Incremental background retraining supersedes wholesale rebuilds; a
-  // frame swap is also not safe under concurrent readers.
-  if (retrainer_enabled_.load(std::memory_order_relaxed)) return;
-  if (updates_since_build_ * 100 <=
+  // frame swap is also not safe under concurrent readers or writers.
+  if (locks_enabled_.load(std::memory_order_relaxed)) return;
+  if (updates_since_build_.load(std::memory_order_relaxed) * 100 <=
       std::max<size_t>(1, built_size_) * config_.full_rebuild_threshold_pct) {
     return;
   }
   std::vector<KeyValue> all;
-  all.reserve(size_);
+  all.reserve(size_.load(std::memory_order_relaxed));
   RangeScan(kMinKey, kMaxKey - 1, &all);
   BuildFrame(all);  // re-invokes DARE (and TSMDP in full mode)
   built_size_ = all.size();
-  updates_since_build_ = 0;
+  updates_since_build_.store(0, std::memory_order_relaxed);
   ++total_full_rebuilds_;
   CHAMELEON_STAT_INC(kFullRebuilds);
   CHAMELEON_TRACE(kFullRebuild, built_size_, 0);
@@ -341,7 +341,7 @@ bool ChameleonIndex::Lookup(Key key, Value* value) const {
   CHAMELEON_STAT_INC(kLookups);
   Unit* unit = FindUnit(key);
   CHAMELEON_HEAT_HIT(unit->heat_reads);
-  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  const bool locked = locks_enabled_.load(std::memory_order_acquire);
   if (locked) unit->lock.LockShared();
   const SubNode* node = &unit->root;
   while (!node->is_leaf()) {
@@ -355,7 +355,7 @@ bool ChameleonIndex::Lookup(Key key, Value* value) const {
 void ChameleonIndex::LookupBatch(std::span<const Key> keys, Value* values,
                                  bool* found) const {
   CHAMELEON_STAT_ADD(kLookups, keys.size());
-  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  const bool locked = locks_enabled_.load(std::memory_order_acquire);
   // Pipeline in groups of kGroup: stage 1 walks each key down to its
   // leaf (inner-node lines are shared across the batch and stay hot),
   // computes the EBH home slot and prefetches its key/value lines; stage
@@ -402,12 +402,16 @@ bool ChameleonIndex::Insert(Key key, Value value) {
   CHAMELEON_STAT_INC(kInserts);
   Unit* unit = FindUnit(key);
   CHAMELEON_HEAT_HIT(unit->heat_writes);
-  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  const bool locked = locks_enabled_.load(std::memory_order_acquire);
   if (locked) {
-    // Attribute time spent blocked on the retrainer's exclusive hold
-    // of this interval (usually ~one CAS when uncontended).
+    // Attribute time spent blocked on the retrainer's exclusive hold of
+    // this interval — or, in multi-writer mode, on a concurrent
+    // reader/writer of the same unit (usually ~one CAS uncontended).
     CHAMELEON_PHASE_SPAN(kRetrainBlock);
-    unit->lock.LockShared();
+    const uint64_t spins = unit->lock.LockWrite();
+    if (spins > 0) {
+      unit->heat_write_waits.fetch_add(spins, std::memory_order_relaxed);
+    }
   }
   SubNode* node = &unit->root;
   while (!node->is_leaf()) {
@@ -417,11 +421,11 @@ bool ChameleonIndex::Insert(Key key, Value value) {
   if (inserted && locked && unit->rebuilding) {
     unit->pending_log.push_back({true, key, value});
   }
-  if (locked) unit->lock.UnlockShared();
+  if (locked) unit->lock.UnlockWrite();
   if (!inserted) return false;
   unit->inserts_since_build.fetch_add(1, std::memory_order_relaxed);
-  ++size_;
-  ++updates_since_build_;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  updates_since_build_.fetch_add(1, std::memory_order_relaxed);
   MaybeFullReconstruct();
   return true;
 }
@@ -430,10 +434,13 @@ bool ChameleonIndex::Erase(Key key) {
   CHAMELEON_STAT_INC(kErases);
   Unit* unit = FindUnit(key);
   CHAMELEON_HEAT_HIT(unit->heat_writes);
-  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  const bool locked = locks_enabled_.load(std::memory_order_acquire);
   if (locked) {
     CHAMELEON_PHASE_SPAN(kRetrainBlock);
-    unit->lock.LockShared();
+    const uint64_t spins = unit->lock.LockWrite();
+    if (spins > 0) {
+      unit->heat_write_waits.fetch_add(spins, std::memory_order_relaxed);
+    }
   }
   SubNode* node = &unit->root;
   while (!node->is_leaf()) {
@@ -443,11 +450,11 @@ bool ChameleonIndex::Erase(Key key) {
   if (erased && locked && unit->rebuilding) {
     unit->pending_log.push_back({false, key, 0});
   }
-  if (locked) unit->lock.UnlockShared();
+  if (locked) unit->lock.UnlockWrite();
   if (!erased) return false;
   unit->inserts_since_build.fetch_add(1, std::memory_order_relaxed);
-  --size_;
-  ++updates_since_build_;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  updates_since_build_.fetch_add(1, std::memory_order_relaxed);
   MaybeFullReconstruct();
   return true;
 }
@@ -492,7 +499,7 @@ size_t ChameleonIndex::RangeScan(Key lo, Key hi,
     }
   };
 
-  const bool locked = retrainer_enabled_.load(std::memory_order_acquire);
+  const bool locked = locks_enabled_.load(std::memory_order_acquire);
   for (Unit* unit : frame_walker.hits) {
     CHAMELEON_HEAT_HIT(unit->heat_reads);
     if (locked) unit->lock.LockShared();
@@ -516,6 +523,30 @@ obs::Heatmap ChameleonIndex::HeatmapSnapshot() const {
     out.push_back({unit->lk, unit->uk,
                    unit->heat_reads.load(std::memory_order_relaxed),
                    unit->heat_writes.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+bool ChameleonIndex::EnableConcurrentWrites() {
+  // Sticky: once on, every Insert/Erase takes the unit Writer-Lock, and
+  // locks stay enabled even after the retrainer stops. seq_cst mirrors
+  // StartRetrainer — callers flip the mode before concurrent writers
+  // start, so in-flight unlocked operations cannot exist.
+  concurrent_writes_.store(true, std::memory_order_seq_cst);
+  locks_enabled_.store(true, std::memory_order_seq_cst);
+  return true;
+}
+
+obs::Heatmap ChameleonIndex::WriteContentionSnapshot() const {
+  // Same try_to_lock discipline as HeatmapSnapshot: never race a
+  // structural rebuild replacing units_, never stall the sampler.
+  std::unique_lock<std::mutex> lock(heatmap_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return {};
+  obs::Heatmap out;
+  out.reserve(units_.size());
+  for (const auto& unit : units_) {
+    out.push_back({unit->lk, unit->uk, 0,
+                   unit->heat_write_waits.load(std::memory_order_relaxed)});
   }
   return out;
 }
@@ -665,7 +696,7 @@ void ChameleonIndex::StartRetrainer(std::chrono::milliseconds interval) {
   // Queries begin taking Query-Locks from here on; the retrainer's first
   // pass happens one full interval later, far beyond the lifetime of any
   // unlocked in-flight operation.
-  retrainer_enabled_.store(true, std::memory_order_seq_cst);
+  locks_enabled_.store(true, std::memory_order_seq_cst);
   retrainer_ = std::thread([this, interval] { RetrainerLoop(interval); });
 }
 
@@ -676,7 +707,10 @@ void ChameleonIndex::StopRetrainer() {
   }
   retrainer_cv_.notify_all();
   if (retrainer_.joinable()) retrainer_.join();
-  retrainer_enabled_.store(false, std::memory_order_seq_cst);
+  // Locks stay on when multi-writer mode was enabled; otherwise the
+  // single-threaded lock-free fast path returns.
+  locks_enabled_.store(concurrent_writes_.load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
 }
 
 // --- Introspection ----------------------------------------------------------

@@ -67,15 +67,31 @@ struct ChameleonConfig {
 /// non-blocking background retraining thread synchronized by Interval
 /// Locks on the h-th-level key intervals.
 ///
-/// Thread model (Sec. V, extended for the sharded serving engine): any
-/// number of *reader* threads may issue Lookup/LookupBatch/RangeScan
-/// concurrently with each other and with the retraining thread; at most
-/// one thread may issue Insert/Erase, and never concurrently with
-/// readers (foreground bookkeeping — size_, pending logs, leaf slots —
-/// is intentionally unsynchronized between foreground threads). Readers
-/// take the Query-Lock (shared) on the one interval they touch; the
-/// retrainer takes the Retraining-Lock (exclusive) on the one interval
-/// it rebuilds and swaps.
+/// Thread model (Sec. V, extended for the sharded serving engine and
+/// the multi-writer serving path — DESIGN.md §13): any number of
+/// *reader* threads may issue Lookup/LookupBatch/RangeScan concurrently
+/// with each other and with the retraining thread. Writers come in two
+/// modes:
+///
+///  * Default (single-writer): at most one thread issues Insert/Erase,
+///    never concurrently with readers. No interval locks are taken
+///    unless the retrainer is live, so single-threaded operation pays
+///    zero atomic RMWs on the query path.
+///  * Multi-writer (after EnableConcurrentWrites()): any number of
+///    threads may issue Insert/Erase concurrently with each other, with
+///    readers, and with the retrainer. Each writer takes the
+///    Writer-Lock (IntervalLock bit 30) on the single interval it
+///    mutates — writers on different h-level units proceed in parallel;
+///    two writers (or a writer and a reader) on the same unit
+///    serialize. Global bookkeeping (size_, updates_since_build_) is
+///    relaxed atomics. Concurrent Insert/Erase of the *same key* from
+///    two threads is linearized by the unit's writer lock; callers that
+///    need a deterministic final state (the workload driver's oracle
+///    mode) partition keys across writers instead.
+///
+/// Readers take the Query-Lock (shared) on the one interval they touch;
+/// the retrainer takes the Retraining-Lock (exclusive) on the one
+/// interval it rebuilds and swaps.
 ///
 /// Why readers never observe a torn or stale subtree (the DESIGN.md §8
 /// publication argument, enforced by tests/concurrent_read_test.cc
@@ -120,7 +136,17 @@ class ChameleonIndex final : public KvIndex {
   /// read); returns empty while a full structural (re)build holds
   /// heatmap_mu_ rather than stalling the sampler thread.
   obs::Heatmap HeatmapSnapshot() const override;
-  size_t size() const override { return size_; }
+  /// Multi-writer capability (see the thread model above). Supported
+  /// natively; EnableConcurrentWrites flips the index into the
+  /// interval-locked write path and always returns true.
+  bool SupportsConcurrentWrites() const override { return true; }
+  bool EnableConcurrentWrites() override;
+  /// Per-unit write-contention map: `writes` is the cumulative spin
+  /// count writers burned waiting for this unit's Writer-Lock.
+  obs::Heatmap WriteContentionSnapshot() const override;
+  size_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
   size_t SizeBytes() const override;
   IndexStats Stats() const override;
   std::string_view Name() const override;
@@ -236,9 +262,14 @@ class ChameleonIndex final : public KvIndex {
     // on a full rebuild (units are recreated).
     std::atomic<uint64_t> heat_reads{0};
     std::atomic<uint64_t> heat_writes{0};
-    // Guarded by `lock`: set (exclusive) by the retrainer, observed
-    // (shared) by the single workload thread, which is the only writer
-    // of pending_log.
+    // Cumulative spins writers burned waiting for this unit's
+    // Writer-Lock (WriteContentionSnapshot source). Relaxed — a
+    // statistic, not synchronization.
+    std::atomic<uint64_t> heat_write_waits{0};
+    // Guarded by `lock`: set (exclusive) by the retrainer, observed by
+    // writers holding the unit's Writer-Lock (multi-writer mode) or the
+    // Query-Lock (legacy single-writer mode) — either way mutation of
+    // pending_log is serialized per unit.
     bool rebuilding = false;
     std::vector<PendingOp> pending_log;
   };
@@ -299,14 +330,21 @@ class ChameleonIndex final : public KvIndex {
   Key Mk_ = 1;  // dataset max key + 1 (frame upper bound, exclusive)
   FrameNode frame_root_;
   std::vector<std::unique_ptr<Unit>> units_;
-  size_t size_ = 0;
+  // Relaxed atomics: multiple writers bump these concurrently in
+  // multi-writer mode; they are statistics/thresholds, not
+  // synchronization.
+  std::atomic<size_t> size_{0};
   size_t built_size_ = 0;          // population at the last full (re)build
-  size_t updates_since_build_ = 0; // foreground inserts+erases since then
+  std::atomic<size_t> updates_since_build_{0};  // inserts+erases since then
   size_t total_full_rebuilds_ = 0;
   std::atomic<size_t> total_retrains_{0};
-  // Interval locks are only taken while a retraining thread is live;
-  // single-threaded operation pays no atomic RMWs on the query path.
-  std::atomic<bool> retrainer_enabled_{false};
+  // Interval locks are only taken while a retraining thread is live or
+  // multi-writer mode is on; single-threaded operation pays no atomic
+  // RMWs on the query path.
+  std::atomic<bool> locks_enabled_{false};
+  // Sticky: set by EnableConcurrentWrites, never cleared. Keeps
+  // locks_enabled_ true across StopRetrainer.
+  std::atomic<bool> concurrent_writes_{false};
 
   // Held (exclusively) across structural rebuilds that replace units_
   // (BuildFrame, LoadFrom); HeatmapSnapshot try-locks it so the

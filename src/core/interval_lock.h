@@ -38,8 +38,26 @@ inline void SpinBackoff(uint64_t iteration) {
 /// level) — flattened here to one integer — and two threads conflict iff
 /// they hold the same ID. No path locking, no overlap checks.
 ///
-/// One atomic word per interval: bit 31 is the Retraining-Lock, bits
-/// 0..30 count Query-Lock holders.
+/// One atomic word per interval: bit 31 is the Retraining-Lock, bit 30
+/// is the Writer-Lock (one foreground Insert/Erase at a time per
+/// interval; writers on different intervals proceed in parallel), and
+/// bits 0..29 count Query-Lock holders.
+///
+/// Lock compatibility matrix (rows hold, columns request):
+///
+///             | shared | write | exclusive (retrain)
+///   shared    |  yes   |  no   |  denied (try fails)
+///   write     |  no    |  no   |  denied (try fails)
+///   exclusive |  spin  |  spin |  denied (try fails)
+///
+/// A writer excludes readers on its interval because EbhLeaf mutation is
+/// not slot-CAS publication: Insert can displace a run of keys
+/// (memmove-style shifts) and Expand rehashes the slot arrays in place,
+/// so a concurrent reader — including the raw-pointer SIMD probe
+/// kernels — could observe a torn window. Readers on *other* intervals
+/// are untouched; with units sized in the thousands, two threads
+/// colliding on one interval is the rare case the write-contention
+/// heatmap exists to surface.
 class IntervalLock {
  public:
   IntervalLock() : word_(0) {}
@@ -48,14 +66,15 @@ class IntervalLock {
   IntervalLock& operator=(const IntervalLock&) = delete;
 
   /// Query-Lock (shared): spins (with pause/yield backoff) while a
-  /// retraining pass holds the interval. Multiple queries may hold it
-  /// simultaneously. Spin iterations feed the query_lock_spins counter —
-  /// the direct measure of how much retraining stalls the foreground.
+  /// retraining pass or a foreground writer holds the interval. Multiple
+  /// queries may hold it simultaneously. Spin iterations feed the
+  /// query_lock_spins counter — the direct measure of how much
+  /// retraining (and now write contention) stalls the foreground.
   void LockShared() {
     uint32_t cur = word_.load(std::memory_order_relaxed);
     uint64_t spins = 0;
     while (true) {
-      if ((cur & kRetrainBit) != 0) {
+      if ((cur & (kRetrainBit | kWriterBit)) != 0) {
         SpinBackoff(spins++);
         cur = word_.load(std::memory_order_relaxed);
         continue;
@@ -113,15 +132,46 @@ class IntervalLock {
     word_.store(0, std::memory_order_release);
   }
 
+  /// Writer-Lock: one foreground Insert/Erase at a time per interval.
+  /// Waits (spinning with backoff) for the word to drain to 0 — i.e. for
+  /// readers, a retraining pass, or another writer on this interval to
+  /// finish — then claims the interval exclusively. Returns the number
+  /// of spin iterations, so the caller can attribute contention to its
+  /// unit (the write-contention heatmap); the aggregate count of
+  /// contended acquisitions feeds interval_lock_write_waits.
+  uint64_t LockWrite() {
+    uint64_t spins = 0;
+    uint32_t expected = 0;
+    while (!word_.compare_exchange_weak(expected, kWriterBit,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      SpinBackoff(spins++);
+      expected = 0;
+    }
+    if (spins > 0) CHAMELEON_STAT_INC(kIntervalLockWriteWaits);
+    return spins;
+  }
+
+  /// Publication point for the writer's leaf mutations, symmetric with
+  /// UnlockExclusive: the next acquirer's acquire CAS synchronizes-with
+  /// this release store, so displaced slots, updated cd, and
+  /// side-exhaustion state are visible before anyone probes the leaf.
+  void UnlockWrite() { word_.store(0, std::memory_order_release); }
+
   bool IsRetrainLocked() const {
     return (word_.load(std::memory_order_relaxed) & kRetrainBit) != 0;
   }
+  bool IsWriteLocked() const {
+    return (word_.load(std::memory_order_relaxed) & kWriterBit) != 0;
+  }
   uint32_t SharedCount() const {
-    return word_.load(std::memory_order_relaxed) & ~kRetrainBit;
+    return word_.load(std::memory_order_relaxed) &
+           ~(kRetrainBit | kWriterBit);
   }
 
  private:
   static constexpr uint32_t kRetrainBit = 0x80000000u;
+  static constexpr uint32_t kWriterBit = 0x40000000u;
   std::atomic<uint32_t> word_;
 };
 

@@ -72,8 +72,10 @@ bool ChameleonIndex::SaveTo(std::FILE* fp) const {
   // the duration; a stopped retrainer makes this a no-op. Foreground
   // writers remain the caller's responsibility (DurableIndex holds its
   // write mutex around checkpoints).
+  // locks_enabled_ is also true in multi-writer mode without a live
+  // retrainer; the pause/drain handshake is a cheap no-op then.
   const bool retrainer_live =
-      retrainer_enabled_.load(std::memory_order_acquire);
+      locks_enabled_.load(std::memory_order_acquire);
   if (retrainer_live) {
     PauseRetrainerForSave();
     CHAMELEON_STAT_INC(kSaveRetrainerPauses);

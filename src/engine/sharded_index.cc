@@ -405,4 +405,28 @@ obs::Heatmap ShardedIndex::HeatmapSnapshot() const {
   return merged;
 }
 
+bool ShardedIndex::SupportsConcurrentWrites() const {
+  for (const auto& shard : shards_) {
+    if (shard == nullptr || !shard->SupportsConcurrentWrites()) return false;
+  }
+  return true;
+}
+
+bool ShardedIndex::EnableConcurrentWrites() {
+  if (!SupportsConcurrentWrites()) return false;
+  for (const auto& shard : shards_) {
+    if (!shard->EnableConcurrentWrites()) return false;
+  }
+  return true;
+}
+
+obs::Heatmap ShardedIndex::WriteContentionSnapshot() const {
+  obs::Heatmap merged;
+  for (const auto& shard : shards_) {
+    obs::Heatmap h = shard->WriteContentionSnapshot();
+    merged.insert(merged.end(), h.begin(), h.end());
+  }
+  return merged;
+}
+
 }  // namespace chameleon

@@ -43,9 +43,13 @@ namespace chameleon {
 /// After the build, the adapter adds no synchronization of its own:
 /// concurrent *readers* are safe whenever the inner index's read path
 /// is (routing state is immutable after BulkLoad), and writes follow
-/// the inner index's single-writer model. Operations on different
-/// shards never share mutable adapter state, so a driver that partitions
-/// writers by key range gets shard-level write parallelism for free.
+/// the inner index's write contract — single-writer by default, or
+/// fully concurrent when every shard supports it
+/// (SupportsConcurrentWrites() requires all shards;
+/// EnableConcurrentWrites() flips them all). Operations on different
+/// shards never share mutable adapter state, so even single-writer
+/// inners give a key-partitioning driver shard-level write parallelism
+/// for free.
 class ShardedIndex final : public KvIndex {
  public:
   /// Creates `shards` inner indexes from the spec `inner_name` names.
@@ -83,6 +87,14 @@ class ShardedIndex final : public KvIndex {
   /// the key space in order, so the result is already in key order
   /// (the same invariant cross-shard RangeScan stitching relies on).
   obs::Heatmap HeatmapSnapshot() const override;
+  /// Multi-writer capability: supported iff every shard supports it
+  /// (the capability is all-or-nothing — a mixed fleet would silently
+  /// funnel some keys through an unsafe path).
+  bool SupportsConcurrentWrites() const override;
+  bool EnableConcurrentWrites() override;
+  /// Per-shard contention maps concatenated in shard order (key order),
+  /// like HeatmapSnapshot.
+  obs::Heatmap WriteContentionSnapshot() const override;
 
   /// Restores a durable sharded stack: loads the persisted quantile
   /// boundaries (shards.meta under the inner spec's Durable root), then

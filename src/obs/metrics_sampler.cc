@@ -35,6 +35,7 @@ namespace {
 
 std::mutex g_source_mu;
 std::function<Heatmap()> g_source;
+std::function<Heatmap()> g_contention_source;
 
 }  // namespace
 
@@ -61,6 +62,32 @@ ScopedHeatmapSource::ScopedHeatmapSource(std::function<Heatmap()> source) {
 ScopedHeatmapSource::~ScopedHeatmapSource() {
   std::lock_guard<std::mutex> lock(g_source_mu);
   g_source = std::move(previous_);
+}
+
+void SetActiveContentionSource(std::function<Heatmap()> source) {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  g_contention_source = std::move(source);
+}
+
+void ClearActiveContentionSource() { SetActiveContentionSource(nullptr); }
+
+Heatmap ReadActiveContention() {
+  // Same holding-the-mutex discipline as ReadActiveHeatmap: a
+  // ScopedContentionSource destructor cannot return mid-snapshot.
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  return g_contention_source ? g_contention_source() : Heatmap{};
+}
+
+ScopedContentionSource::ScopedContentionSource(
+    std::function<Heatmap()> source) {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  previous_ = std::move(g_contention_source);
+  g_contention_source = std::move(source);
+}
+
+ScopedContentionSource::~ScopedContentionSource() {
+  std::lock_guard<std::mutex> lock(g_source_mu);
+  g_contention_source = std::move(previous_);
 }
 
 // --- MetricsSampler ---------------------------------------------------------
@@ -147,6 +174,9 @@ void MetricsSampler::CaptureLocked() {
 
   Heatmap cur = ReadActiveHeatmap();
   s.hot = TopKHottest(HeatmapDelta(cur, last_heat_), options_.heatmap_top_k);
+  Heatmap contention = ReadActiveContention();
+  s.contention = TopKHottest(HeatmapDelta(contention, last_contention_),
+                             options_.heatmap_top_k);
 
   last_ts_ns_ = s.ts_ns;
   last_totals_ = s.totals;
@@ -155,6 +185,7 @@ void MetricsSampler::CaptureLocked() {
     last_hist_counts_.emplace_back(name, hs.count);
   }
   last_heat_ = std::move(cur);
+  last_contention_ = std::move(contention);
 
   if (ring_.size() < options_.ring_capacity) {
     ring_.push_back(std::move(s));
@@ -231,6 +262,8 @@ void MetricsSampler::AppendSampleJson(const MetricsSample& s,
   }
   *out += "},\"heat\":";
   *out += HeatmapJson(s.hot);
+  *out += ",\"contention\":";
+  *out += HeatmapJson(s.contention);
   *out += "}\n";
 }
 

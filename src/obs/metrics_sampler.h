@@ -70,6 +70,30 @@ class ScopedHeatmapSource {
   std::function<Heatmap()> previous_;
 };
 
+// Parallel source for the per-unit *write-contention* map
+// (KvIndex::WriteContentionSnapshot): same registration/polling
+// discipline as the heatmap source, surfaced per tick as the
+// "contention" JSONL field. The driver registers it alongside the
+// heatmap source whenever the replayed stack reports contention.
+
+void SetActiveContentionSource(std::function<Heatmap()> source);
+void ClearActiveContentionSource();
+/// The current contention source's snapshot; empty when none registered.
+Heatmap ReadActiveContention();
+
+/// RAII registration for the contention source, nesting-safe.
+class ScopedContentionSource {
+ public:
+  explicit ScopedContentionSource(std::function<Heatmap()> source);
+  ~ScopedContentionSource();
+
+  ScopedContentionSource(const ScopedContentionSource&) = delete;
+  ScopedContentionSource& operator=(const ScopedContentionSource&) = delete;
+
+ private:
+  std::function<Heatmap()> previous_;
+};
+
 // --- Time-series sampler ----------------------------------------------------
 
 /// Point-in-time digest of one registered histogram.
@@ -93,6 +117,9 @@ struct MetricsSample {
   CounterSnapshot deltas{};
   std::vector<std::pair<std::string, HistSample>> hists;
   Heatmap hot;
+  /// Top-K units by per-tick writer-lock-wait delta (contention source);
+  /// empty when no source is registered or nothing contended this tick.
+  Heatmap contention;
 };
 
 struct SamplerOptions {
@@ -167,6 +194,7 @@ class MetricsSampler {
   CounterSnapshot last_totals_{};
   std::vector<std::pair<std::string, uint64_t>> last_hist_counts_;
   Heatmap last_heat_;
+  Heatmap last_contention_;
 
   std::thread thread_;
   std::mutex thread_mu_;  // guards thread_/stop_ against Start/Stop races

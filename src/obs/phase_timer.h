@@ -22,15 +22,21 @@ namespace chameleon::obs {
 ///                    inside kGroupCommitWait of whichever thread
 ///                    leads; informational, not additive with it)
 ///   kApply           applying the logged op to the inner index
-///   kRetrainBlock    foreground write blocked acquiring a unit's
-///                    Query-Lock while the retrainer holds the interval
+///   kRetrainBlock    foreground write acquiring its unit's lock: the
+///                    per-unit Writer-Lock in multi-writer mode, or the
+///                    Query-Lock while a retrainer holds the interval
+///                    (single-writer legacy)
 ///   kWriteTotal      the whole DurableIndex::Insert/Erase call as the
-///                    client observes it (includes writer-mutex wait)
+///                    client observes it (includes acquiring the shared
+///                    maintenance gate; writers no longer serialize on
+///                    a global mutex)
 ///
-/// Additivity contract asserted by tests and the CI bench-smoke step:
+/// Additivity contract asserted by tests and the CI bench-smoke step,
+/// in both single- and multi-writer modes: count-weighted
 /// mean(kWalAppend) + mean(kGroupCommitWait) + mean(kApply) accounts
-/// for nearly all of mean(kWriteTotal); the remainder is writer-mutex
-/// wait and payload assembly.
+/// for nearly all of mean(kWriteTotal); the remainder is the shared
+/// maintenance-gate acquisition and payload assembly. (kRetrainBlock
+/// nests inside kApply's inner call and is informational, like kFsync.)
 enum class WritePhase : uint32_t {
   kWalAppend = 0,
   kGroupCommitWait,

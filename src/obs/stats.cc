@@ -31,6 +31,8 @@ std::string_view CounterName(Counter c) {
     case Counter::kCheckpoints: return "checkpoints";
     case Counter::kRecoveries: return "recoveries";
     case Counter::kSaveRetrainerPauses: return "save_retrainer_pauses";
+    case Counter::kIntervalLockWriteWaits: return "interval_lock_write_waits";
+    case Counter::kWalConcurrentAppends: return "wal_concurrent_appends";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -58,6 +58,12 @@ enum class Counter : uint32_t {
   // Times ChameleonIndex::SaveTo found a live retraining thread and had
   // to pause/drain it before walking the structure.
   kSaveRetrainerPauses,
+  // Multi-writer contention (appended per the catalog note above):
+  // contended writer-lock acquisitions on h-level intervals, and WAL
+  // Append calls that found another appender holding the buffer mutex
+  // (the direct measure of group commit seeing real concurrency).
+  kIntervalLockWriteWaits,
+  kWalConcurrentAppends,
 
   kCount,  // sentinel — keep last
 };

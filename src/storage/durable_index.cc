@@ -60,7 +60,7 @@ std::vector<uint64_t> DurableIndex::ListSnapshots() const {
 }
 
 void DurableIndex::BulkLoad(std::span<const KeyValue> data) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::unique_lock<std::shared_mutex> lock(write_mu_);
   // A bulk load starts a new durable lifetime: stale segments and
   // snapshots in the directory (from a previous run or test fixture)
   // must not leak into a later recovery.
@@ -92,11 +92,15 @@ void DurableIndex::BulkLoad(std::span<const KeyValue> data) {
 
 bool DurableIndex::Insert(Key key, Value value) {
   // kWriteTotal spans the whole call as the client observes it (incl.
-  // writer-mutex wait); kApply covers only the inner-index apply. The
-  // WAL phases (kWalAppend / kGroupCommitWait / kFsync) are recorded
-  // inside wal_.Append.
+  // the shared-lock handshake against a draining checkpointer); kApply
+  // covers only the inner-index apply. The WAL phases (kWalAppend /
+  // kGroupCommitWait / kFsync) are recorded inside wal_.Append.
   CHAMELEON_PHASE_SPAN(kWriteTotal);
-  std::lock_guard<std::mutex> lock(write_mu_);
+  // Shared: writers do not exclude each other — WAL appends serialize
+  // in wal_.Append's own append mutex, applies under the inner index's
+  // per-interval locks. Exclusive holders (checkpoint/recover/crash)
+  // drain all in-flight log-then-apply pairs.
+  std::shared_lock<std::shared_mutex> lock(write_mu_);
   uint8_t payload[16];
   std::memcpy(payload, &key, 8);
   std::memcpy(payload + 8, &value, 8);
@@ -109,7 +113,7 @@ bool DurableIndex::Insert(Key key, Value value) {
 
 bool DurableIndex::Erase(Key key) {
   CHAMELEON_PHASE_SPAN(kWriteTotal);
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::shared_lock<std::shared_mutex> lock(write_mu_);
   uint8_t payload[8];
   std::memcpy(payload, &key, 8);
   if (!wal_.Append(kRecErase, payload, sizeof(payload))) return false;
@@ -118,7 +122,7 @@ bool DurableIndex::Erase(Key key) {
 }
 
 bool DurableIndex::Recover() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::unique_lock<std::shared_mutex> lock(write_mu_);
   Timer timer;
   // Newest valid snapshot wins; older ones only exist if a crash hit
   // between a checkpoint's snapshot write and its cleanup.
@@ -183,7 +187,7 @@ bool DurableIndex::CheckpointLocked() {
 }
 
 bool DurableIndex::Checkpoint() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::unique_lock<std::shared_mutex> lock(write_mu_);
   return CheckpointLocked();
 }
 
@@ -196,7 +200,7 @@ void DurableIndex::CheckpointerLoop(std::chrono::milliseconds interval) {
     }
     lock.unlock();
     {
-      std::lock_guard<std::mutex> write_lock(write_mu_);
+      std::unique_lock<std::shared_mutex> write_lock(write_mu_);
       const uint64_t grown = wal_.appended_bytes() - wal_bytes_at_checkpoint_;
       if (grown > 0 && grown >= options_.checkpoint_wal_bytes) {
         CheckpointLocked();
@@ -226,7 +230,10 @@ void DurableIndex::StopCheckpointer() {
 
 void DurableIndex::SimulateCrash() {
   StopCheckpointer();
-  std::lock_guard<std::mutex> lock(write_mu_);
+  // Exclusive: drain in-flight concurrent writers so the simulated
+  // power cut lands between whole log-then-apply pairs, as it would on
+  // a real machine once the appender's fwrite returned.
+  std::unique_lock<std::shared_mutex> lock(write_mu_);
   wal_.SimulateCrash();
 }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 
@@ -46,13 +47,30 @@ struct DurableOptions {
 /// (temp + rename), deletes obsolete WAL segments and older snapshots.
 /// `StartCheckpointer` runs it periodically on a background thread.
 ///
-/// Thread model: same single-writer contract as the inner indexes —
-/// at most one thread in Insert/Erase/BulkLoad. The checkpointer
-/// serializes against that writer with a mutex (writes stall for the
-/// snapshot write; readers are never blocked), and the Chameleon
-/// native save path pauses/drains the retraining thread internally
+/// Thread model: the adapter follows the inner index's write contract.
+/// By default that is single-writer — at most one thread in
+/// Insert/Erase. When the inner index supports concurrent writes
+/// (SupportsConcurrentWrites(), enabled via EnableConcurrentWrites()),
+/// multiple threads may Insert/Erase concurrently: each writer holds
+/// write_mu_ *shared* only — WAL appends interleave through the log's
+/// own append mutex (exercising group commit under real contention)
+/// and applies land under the inner index's per-interval writer locks.
+/// There is no global write mutex on the hot path. Maintenance
+/// (BulkLoad/Recover/Checkpoint/SimulateCrash) takes write_mu_
+/// exclusively — the pause/drain point that keeps a snapshot's WAL
+/// boundary consistent: it waits out every in-flight log-then-apply
+/// pair, so no op can be logged before the boundary but applied after
+/// the snapshot. Readers are never blocked, and the Chameleon native
+/// save path pauses/drains the retraining thread internally
 /// (core/serialize.h), so `Durable` composes with a live retrainer and
 /// with `Sharded<N>` inners.
+///
+/// Concurrent-writer caveat: two racing writers of the *same key* may
+/// commit to the WAL in the opposite order of their inner-index
+/// applies, making replay-after-crash order-sensitive. Callers needing
+/// a deterministic recovered state give each writer thread a disjoint
+/// key set (the workload driver partitions by key ownership); per-key
+/// WAL order then matches per-key apply order exactly.
 class DurableIndex final : public KvIndex {
  public:
   /// `dir` is this index's private durability directory (created if
@@ -86,6 +104,18 @@ class DurableIndex final : public KvIndex {
   std::string_view Name() const override { return name_; }
   obs::Heatmap HeatmapSnapshot() const override {
     return inner_->HeatmapSnapshot();
+  }
+  /// Multi-writer capability passes through to the inner index; the
+  /// adapter itself only needs the inner's fine-grained locks (see the
+  /// thread model above).
+  bool SupportsConcurrentWrites() const override {
+    return inner_->SupportsConcurrentWrites();
+  }
+  bool EnableConcurrentWrites() override {
+    return inner_->EnableConcurrentWrites();
+  }
+  obs::Heatmap WriteContentionSnapshot() const override {
+    return inner_->WriteContentionSnapshot();
   }
 
   // --- Durability operations ------------------------------------------------
@@ -133,8 +163,11 @@ class DurableIndex final : public KvIndex {
   DurableOptions options_;
   Wal wal_;
 
-  /// Serializes the single foreground writer against the checkpointer.
-  std::mutex write_mu_;
+  /// Writers hold this *shared* (concurrent log-then-apply);
+  /// maintenance — BulkLoad, Recover, Checkpoint, SimulateCrash — holds
+  /// it *exclusive* as the pause/drain barrier. With a single writer
+  /// this degenerates to the old mutex behavior.
+  mutable std::shared_mutex write_mu_;
   uint64_t wal_bytes_at_checkpoint_ = 0;
   size_t last_recovery_replayed_ = 0;
   double last_recovery_ms_ = 0.0;

@@ -192,7 +192,14 @@ bool Wal::Append(uint8_t type, const void* payload, size_t payload_len) {
   {
     // Record assembly + buffered fwrite, including append_mu_ wait.
     CHAMELEON_PHASE_SPAN(kWalAppend);
-    std::lock_guard<std::mutex> append_lock(append_mu_);
+    // try_to_lock first purely for observability: a miss means another
+    // appender holds the buffer right now — the direct evidence that
+    // group commit is seeing real write concurrency.
+    std::unique_lock<std::mutex> append_lock(append_mu_, std::try_to_lock);
+    if (!append_lock.owns_lock()) {
+      CHAMELEON_STAT_INC(kWalConcurrentAppends);
+      append_lock.lock();
+    }
     if (file_ == nullptr) return false;
     if (segment_bytes_written_.load(std::memory_order_relaxed) >=
         options_.segment_bytes) {

@@ -115,17 +115,21 @@ ChunkResult ReplayDispatch(KvIndex* index, std::span<const Operation> ops,
 ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
                     const ReplayOptions& options,
                     obs::LatencyHistogram* hist) {
-  // Register the replayed index as the sampler's heatmap source for
-  // the duration: every bench driving through here gets per-tick unit
-  // heatmaps in its --series output with no harness wiring. Safe with
-  // concurrent replay threads (HeatmapSnapshot's contract) and scoped
-  // so the sampler can never touch the index after Replay returns.
+  // Register the replayed index as the sampler's heatmap + contention
+  // sources for the duration: every bench driving through here gets
+  // per-tick unit heatmaps (and writer-lock-wait maps) in its --series
+  // output with no harness wiring. Safe with concurrent replay threads
+  // (the snapshots' contracts) and scoped so the sampler can never
+  // touch the index after Replay returns.
   obs::ScopedHeatmapSource heat_scope(
       [index] { return index->HeatmapSnapshot(); });
+  obs::ScopedContentionSource contention_scope(
+      [index] { return index->WriteContentionSnapshot(); });
   const size_t batch = std::max<size_t>(1, options.batch);
   const size_t warmup = std::min(options.warmup, ops.size());
   if (warmup > 0) {
     // Applied but never measured: no histogram, no miss accounting.
+    // Always single-threaded, so it needs no write capability.
     ReplayDispatch(index, ops.subspan(0, warmup), batch, nullptr);
   }
   const std::span<const Operation> measured = ops.subspan(warmup);
@@ -133,9 +137,26 @@ ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
   ReplayResult result;
   result.ops = measured.size();
 
-  const size_t threads =
+  size_t threads =
       std::max<size_t>(1, std::min(options.threads, std::max<size_t>(
                                                         1, measured.size())));
+  const bool has_writes =
+      threads > 1 &&
+      std::any_of(measured.begin(), measured.end(), [](const Operation& op) {
+        return op.type != OpType::kLookup;
+      });
+  // Mixed/write streams need multi-writer support from the stack. Fall
+  // back to a safe (and honestly labeled: the result says what actually
+  // ran) single-threaded replay when the index declines.
+  const bool partition_by_key = threads > 1 && has_writes;
+  if (partition_by_key && !index->EnableConcurrentWrites()) {
+    std::fprintf(stderr,
+                 "WARNING: %.*s does not support concurrent writes; "
+                 "replaying the write-bearing stream on 1 thread\n",
+                 static_cast<int>(index->Name().size()), index->Name().data());
+    threads = 1;
+  }
+
   if (threads == 1) {
     // Single-threaded fast path: record straight into the caller's
     // histogram; busy and wall time coincide in hist == nullptr mode
@@ -146,21 +167,39 @@ ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
     result.misses = chunk.misses;
     result.busy_ns = chunk.busy_ns;
   } else {
-    // Contiguous chunk per thread: boundaries depend only on
-    // (size, threads), so which thread replays which ops is
-    // deterministic. Per-thread histograms avoid cross-thread
-    // contention on hot buckets and are merged exactly at the end.
+    // Read-only streams get a contiguous chunk per thread; write-bearing
+    // streams are partitioned by key ownership (thread t replays every
+    // op with key % threads == t, in stream order). Both partitions
+    // depend only on (stream, threads) — deterministic — and the key
+    // partition additionally preserves per-key op order across threads,
+    // so the final index state matches a serial replay bit-for-bit (the
+    // oracle invariant the multi-writer stress tests check). Per-thread
+    // histograms avoid cross-thread contention on hot buckets and are
+    // merged exactly at the end.
+    std::vector<std::vector<Operation>> owned(partition_by_key ? threads : 0);
+    if (partition_by_key) {
+      for (auto& v : owned) v.reserve(measured.size() / threads + 1);
+      for (const Operation& op : measured) {
+        owned[static_cast<size_t>(op.key) % threads].push_back(op);
+      }
+    }
     std::vector<ChunkResult> chunks(threads);
     std::vector<obs::LatencyHistogram> hists(hist != nullptr ? threads : 0);
     Timer wall;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (size_t t = 0; t < threads; ++t) {
-      const size_t begin = t * measured.size() / threads;
-      const size_t end = (t + 1) * measured.size() / threads;
-      workers.emplace_back([&, t, begin, end] {
-        chunks[t] = ReplayDispatch(index, measured.subspan(begin, end - begin),
-                                   batch, hist != nullptr ? &hists[t] : nullptr);
+      std::span<const Operation> mine;
+      if (partition_by_key) {
+        mine = owned[t];
+      } else {
+        const size_t begin = t * measured.size() / threads;
+        const size_t end = (t + 1) * measured.size() / threads;
+        mine = measured.subspan(begin, end - begin);
+      }
+      workers.emplace_back([&, t, mine] {
+        chunks[t] = ReplayDispatch(index, mine, batch,
+                                   hist != nullptr ? &hists[t] : nullptr);
       });
     }
     for (std::thread& worker : workers) worker.join();

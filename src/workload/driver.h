@@ -24,8 +24,15 @@ struct ReplayOptions {
   /// index. R > 1 is valid for read-only streams against any index whose
   /// Lookup path tolerates concurrent readers (all indexes here:
   /// lookups are const; ChameleonIndex additionally takes Query-Locks
-  /// while its retrainer is live). Streams containing writes follow the
-  /// single-writer model of the underlying indexes and must use R = 1.
+  /// while locks are enabled). For streams containing writes, R > 1
+  /// requires the index to support concurrent writes: the driver calls
+  /// EnableConcurrentWrites() and partitions the *whole* measured
+  /// stream by key ownership (thread t owns every op whose key % R ==
+  /// t) instead of contiguous chunks — per-key operation order is
+  /// preserved, so the final index state is bit-identical to a serial
+  /// replay regardless of interleaving (the oracle-checking invariant).
+  /// When the index declines, the driver warns and falls back to R = 1
+  /// rather than run an unsafe or mislabeled replay.
   size_t threads = 1;
   /// Lookup batching: maximal runs of consecutive kLookup ops are fed
   /// through KvIndex::LookupBatch in groups of `batch` (1 = per-key

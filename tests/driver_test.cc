@@ -155,6 +155,63 @@ TEST_F(DriverTest, MoreThreadsThanOpsIsClamped) {
   EXPECT_EQ(r.misses, 0u);
 }
 
+TEST_F(DriverTest, MixedMultiThreadReplayMatchesSerialOracle) {
+  // The key-ownership partition preserves per-key op order, so the
+  // multi-threaded final state must be bit-identical to a serial
+  // replay of the same stream — checked key by key against an index
+  // replayed on one thread.
+  WorkloadGenerator gen(keys_, 23);
+  const std::vector<Operation> ops = gen.MixedReadWrite(12'000, 0.5);
+
+  std::unique_ptr<KvIndex> serial = MakeIndex("Chameleon");
+  serial->BulkLoad(ToKeyValues(keys_));
+  const ReplayResult sr = Replay(serial.get(), ops, ReplayOptions{});
+  EXPECT_EQ(sr.misses, 0u);
+
+  for (size_t threads : {2u, 4u}) {
+    std::unique_ptr<KvIndex> index = MakeIndex("Chameleon");
+    index->BulkLoad(ToKeyValues(keys_));
+    obs::LatencyHistogram hist;
+    ReplayOptions options;
+    options.threads = threads;
+    const ReplayResult r = Replay(index.get(), ops, options, &hist);
+    EXPECT_EQ(r.ops, ops.size()) << threads;
+    // Per-key order preservation means reads observe exactly the
+    // serial per-key state: zero spurious misses.
+    EXPECT_EQ(r.misses, 0u) << threads;
+    EXPECT_EQ(hist.count(), ops.size()) << threads;
+    EXPECT_EQ(index->size(), serial->size()) << threads;
+    for (const Operation& op : ops) {
+      Value expected = 0, got = 0;
+      const bool serial_hit = serial->Lookup(op.key, &expected);
+      const bool multi_hit = index->Lookup(op.key, &got);
+      ASSERT_EQ(multi_hit, serial_hit) << "key " << op.key;
+      if (serial_hit) {
+        ASSERT_EQ(got, expected) << "key " << op.key;
+      }
+    }
+  }
+}
+
+TEST_F(DriverTest, WriteBearingReplayFallsBackWhenUnsupported) {
+  // B+Tree declines EnableConcurrentWrites; the driver must warn and
+  // replay on one thread rather than corrupt the index or mislabel the
+  // run — every op still executes exactly once.
+  std::unique_ptr<KvIndex> btree = MakeIndex("B+Tree");
+  ASSERT_NE(btree, nullptr);
+  ASSERT_FALSE(btree->SupportsConcurrentWrites());
+  btree->BulkLoad(ToKeyValues(keys_));
+  WorkloadGenerator gen(keys_, 29);
+  const std::vector<Operation> ops = gen.MixedReadWrite(4'000, 0.5);
+  obs::LatencyHistogram hist;
+  ReplayOptions options;
+  options.threads = 4;
+  const ReplayResult r = Replay(btree.get(), ops, options, &hist);
+  EXPECT_EQ(r.ops, ops.size());
+  EXPECT_EQ(r.misses, 0u);
+  EXPECT_EQ(hist.count(), ops.size());
+}
+
 TEST_F(DriverTest, EmptyStreamIsANoOp) {
   const ReplayResult r =
       Replay(index_.get(), std::span<const Operation>{}, ReplayOptions{});

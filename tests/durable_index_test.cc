@@ -229,14 +229,15 @@ TEST_F(DurableIndexTest, GenericSnapshotPathRecoversBTree) {
   EXPECT_EQ(recovered->size(), expected_size);
 }
 
-// The TSan target, in two phases matching the index's thread model
-// (N readers XOR one writer, each concurrent with the retrainer):
-// phase 1 runs concurrent readers against the retrainer and the
-// checkpointer's native-save pause/drain handshake; phase 2 runs the
-// single foreground writer against both background threads. Readers
-// never overlap the writer — EbhLeaf slot writes are not published
-// atomically, which is also why the workload driver gates --rthreads
-// to read-only replays.
+// The TSan target for the *legacy single-writer* mode (no
+// EnableConcurrentWrites call), in two phases: phase 1 runs concurrent
+// readers against the retrainer and the checkpointer's native-save
+// pause/drain handshake; phase 2 runs the single foreground writer
+// against both background threads. In this mode readers never overlap
+// the writer, and writes stay on the zero-RMW fast path. The
+// multi-writer mode — readers AND writers AND retrainer AND
+// checkpointer all concurrent — is covered by MultiWriterTest and
+// ConcurrentAppendersCrashLosesNoAcknowledgedWrite below.
 TEST_F(DurableIndexTest, CheckpointerRetrainerWriterReadersCoexist) {
   const std::vector<Key> keys = GenerateDataset(DatasetKind::kFace, 15'000, 17);
   DurableOptions options;
@@ -302,6 +303,75 @@ TEST_F(DurableIndexTest, CheckpointerRetrainerWriterReadersCoexist) {
                                                   options);
   ASSERT_TRUE(recovered->Recover());
   EXPECT_EQ(recovered->size(), gen.live_keys());
+}
+
+// Kill-and-recover under concurrent appenders: multiple writer threads
+// drive log-then-apply pairs through the shared maintenance gate while
+// the main thread pulls the plug mid-flight. SimulateCrash drains
+// in-flight pairs (exclusive gate) and truncates the WAL to the last
+// fsync barrier; under fsync=always every acknowledged write sits
+// behind that barrier, so recovery must reproduce exactly the acked
+// set — no loss, and no phantom from a half-finished pair.
+TEST_F(DurableIndexTest, ConcurrentAppendersCrashLosesNoAcknowledgedWrite) {
+  const std::vector<Key> keys = GenerateDataset(DatasetKind::kFace, 10'000, 23);
+  DurableOptions options;
+  options.wal.fsync = FsyncPolicy::kAlways;
+  constexpr size_t kWriters = 2;
+
+  std::map<Key, Value> reference;
+  for (const KeyValue& kv : ToKeyValues(keys)) reference[kv.key] = kv.value;
+
+  std::vector<std::map<Key, Value>> acked_inserts(kWriters);
+  std::vector<std::vector<Key>> acked_erases(kWriters);
+  {
+    auto index = std::make_unique<DurableIndex>(MakeIndex("Chameleon"), dir_,
+                                                options);
+    index->BulkLoad(ToKeyValues(keys));
+    ASSERT_TRUE(index->SupportsConcurrentWrites());
+    ASSERT_TRUE(index->EnableConcurrentWrites());
+
+    // Each appender owns a disjoint key space: fresh inserts above the
+    // loaded range (disjoint strides) plus erases of loaded keys with
+    // key index % kWriters == t. Any Insert/Erase returning false can
+    // only mean the WAL is gone — the crash point for that thread.
+    std::vector<std::thread> writers;
+    for (size_t w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        const Key base = keys.back() + 1'000;
+        size_t next_victim = w;  // loaded-key index; strided by kWriters
+        for (size_t i = 0; i < 100'000; ++i) {
+          if (i % 3 == 2 && next_victim < keys.size()) {
+            const Key victim = keys[next_victim];
+            next_victim += kWriters;  // each index visited exactly once
+            if (!index->Erase(victim)) break;
+            acked_erases[w].push_back(victim);
+          } else {
+            const Key fresh = base + static_cast<Key>(i * kWriters + w);
+            if (!index->Insert(fresh, static_cast<Value>(w + 1))) break;
+            acked_inserts[w][fresh] = static_cast<Value>(w + 1);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    index->SimulateCrash();
+    for (std::thread& t : writers) t.join();
+  }
+
+  for (size_t w = 0; w < kWriters; ++w) {
+    for (const auto& [key, value] : acked_inserts[w]) reference[key] = value;
+    for (const Key key : acked_erases[w]) reference.erase(key);
+  }
+
+  auto recovered = std::make_unique<DurableIndex>(MakeIndex("Chameleon"), dir_,
+                                                  options);
+  ASSERT_TRUE(recovered->Recover());
+  ASSERT_EQ(recovered->size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    Value v = 0;
+    ASSERT_TRUE(recovered->Lookup(key, &v)) << "lost acked write " << key;
+    EXPECT_EQ(v, value) << key;
+  }
 }
 
 }  // namespace

@@ -98,6 +98,66 @@ TEST(IntervalLockTest, MutualExclusionHammer) {
   EXPECT_EQ(violations.load(), 0);
 }
 
+TEST(IntervalLockTest, WriterLockBasics) {
+  IntervalLock lock;
+  EXPECT_FALSE(lock.IsWriteLocked());
+  EXPECT_EQ(lock.LockWrite(), 0u);  // uncontended: zero spins
+  EXPECT_TRUE(lock.IsWriteLocked());
+  EXPECT_EQ(lock.SharedCount(), 0u);  // writer bit is not a shared hold
+  lock.UnlockWrite();
+  EXPECT_FALSE(lock.IsWriteLocked());
+}
+
+TEST(IntervalLockTest, WriterExcludesRetrainer) {
+  // The retrainer's snapshot try-lock must fail while a foreground
+  // writer holds the unit — and never block (3-phase retrain protocol).
+  IntervalLock lock;
+  lock.LockWrite();
+  EXPECT_FALSE(lock.TryLockExclusive());
+  lock.UnlockWrite();
+  EXPECT_TRUE(lock.TryLockExclusive());
+  lock.UnlockExclusive();
+}
+
+TEST(IntervalLockTest, SharedWaitsForWriter) {
+  // Writers exclude readers: EbhLeaf inserts displace key runs in
+  // place, so a probe overlapping a write could see a torn window.
+  IntervalLock lock;
+  lock.LockWrite();
+  std::atomic<bool> acquired{false};
+  std::thread reader([&] {
+    lock.LockShared();
+    acquired.store(true);
+    lock.UnlockShared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lock.UnlockWrite();
+  reader.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(IntervalLockTest, WriterMutualExclusionHammer) {
+  // Two writers increment a plain (non-atomic) counter under LockWrite;
+  // any lost update means the lock failed to serialize them.
+  IntervalLock lock;
+  int counter = 0;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        lock.LockWrite();
+        ++counter;
+        lock.UnlockWrite();
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(counter, 2 * kPerThread);
+  EXPECT_FALSE(lock.IsWriteLocked());
+}
+
 TEST(IntervalLockTest, DisjointIntervalsDoNotConflict) {
   // Two locks = two intervals: exclusive on one never blocks shared on
   // the other (the paper's "IDs differ => both threads proceed").

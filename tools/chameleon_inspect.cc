@@ -169,13 +169,6 @@ int main(int argc, char** argv) {
     PrintKernels();
     return 0;
   }
-  // Writes in the replay stream pin it to one driver thread, so a
-  // multi-threaded --rthreads request cannot be honored — reject it
-  // like the benches do rather than report a mislabeled run.
-  if (flags.mix > 0.0) {
-    RejectRthreadsOnWrites(opt, "chameleon_inspect",
-                           "--mix > 0 makes the replay write-bearing");
-  }
   // The report powers --series/--trace/--json plumbing; the inspect
   // JSON below is separate and always emitted.
   JsonReport report("chameleon_inspect", opt);
@@ -183,6 +176,14 @@ int main(int argc, char** argv) {
   const std::vector<Key> keys = MakeKeys(flags, opt);
   const std::vector<KeyValue> data = ToKeyValues(keys);
   std::unique_ptr<KvIndex> index = MakeBenchIndex(flags.index, opt);
+  // With --mix > 0 the replay stream is write-bearing, so honoring a
+  // multi-threaded request needs concurrent-write support from this
+  // exact composed stack. Single-stack tool: no row to skip to, so an
+  // unsupported stack is a hard loud error, not a silent R=1 run.
+  if (flags.mix > 0.0) {
+    RequireConcurrentWritesOrDie(*index, opt, "chameleon_inspect",
+                                 "--mix > 0 makes the replay write-bearing");
+  }
   index->BulkLoad(data);
 
   WorkloadGenerator gen(keys, opt.seed + 1);
@@ -259,6 +260,15 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "%s],\n", hottest.empty() ? "" : "\n  ");
   std::fprintf(out, "  \"heatmap\": %s,\n", obs::HeatmapJson(heat).c_str());
+
+  // Writer-lock contention map: per-unit writer-lock spin counts
+  // accumulated during the replay (all zeros unless the stack ran in
+  // multi-writer mode and writers actually collided). Top-K only — the
+  // full map is the "heatmap" field's shape with different weights.
+  const obs::Heatmap contention =
+      obs::TopKHottest(index->WriteContentionSnapshot(), flags.top);
+  std::fprintf(out, "  \"write_contention\": %s,\n",
+               obs::HeatmapJson(contention).c_str());
 
   const obs::CounterSnapshot snap = obs::StatsRegistry::Get().Snapshot();
   std::fprintf(out, "  \"counters\": {");
