@@ -15,6 +15,7 @@
 #include "src/engine/sharded_index.h"
 #include "src/obs/stats.h"
 #include "src/storage/durable_index.h"
+#include "src/tiered/tiered_index.h"
 
 namespace chameleon {
 
@@ -88,6 +89,7 @@ void EnsureBuiltinIndexDecorators() {
   std::call_once(once, [] {
     RegisterShardedDecorator();
     RegisterDurableDecorator();
+    RegisterTieredDecorator();
   });
 }
 

@@ -19,6 +19,9 @@ std::string_view WritePhaseName(WritePhase p) {
     case WritePhase::kApply: return "apply";
     case WritePhase::kRetrainBlock: return "retrain_block";
     case WritePhase::kWriteTotal: return "write_total";
+    case WritePhase::kMergeScan: return "merge_scan";
+    case WritePhase::kMergeWrite: return "merge_write";
+    case WritePhase::kMergeInstall: return "merge_install";
     case WritePhase::kCount: break;
   }
   return "unknown";

@@ -44,6 +44,16 @@ enum class WritePhase : uint32_t {
   kApply,
   kRetrainBlock,
   kWriteTotal,
+  // Tiered delta-merge lifecycle (src/tiered/, DESIGN.md §14). Appended
+  // after kWriteTotal so existing phase rows stay diffable; the three
+  // spans nest inside one TieredIndex::Merge call and are disjoint:
+  //
+  //   kMergeScan     sequential scan of the old page run + delta drain
+  //   kMergeWrite    writing the rewritten page run to the temp file
+  //   kMergeInstall  fsync + atomic rename + pool reset + fence rebuild
+  kMergeScan,
+  kMergeWrite,
+  kMergeInstall,
 
   kCount,  // sentinel — keep last
 };

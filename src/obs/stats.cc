@@ -33,6 +33,14 @@ std::string_view CounterName(Counter c) {
     case Counter::kSaveRetrainerPauses: return "save_retrainer_pauses";
     case Counter::kIntervalLockWriteWaits: return "interval_lock_write_waits";
     case Counter::kWalConcurrentAppends: return "wal_concurrent_appends";
+    case Counter::kTieredPageReads: return "tiered_page_reads";
+    case Counter::kTieredPageWrites: return "tiered_page_writes";
+    case Counter::kTieredPageEvictions: return "tiered_page_evictions";
+    case Counter::kTieredPoolHits: return "tiered_pool_hits";
+    case Counter::kTieredPoolMisses: return "tiered_pool_misses";
+    case Counter::kTieredMerges: return "tiered_merges";
+    case Counter::kTieredMergeEntries: return "tiered_merge_entries";
+    case Counter::kTieredDeltaInserts: return "tiered_delta_inserts";
     case Counter::kCount: break;
   }
   return "unknown";

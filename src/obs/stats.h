@@ -64,6 +64,17 @@ enum class Counter : uint32_t {
   // (the direct measure of group commit seeing real concurrency).
   kIntervalLockWriteWaits,
   kWalConcurrentAppends,
+  // Tiered disk engine (src/tiered/, appended per the catalog note
+  // above): buffer-pool traffic against the page file, delta-merge
+  // activity, and writes absorbed by the in-memory delta index.
+  kTieredPageReads,
+  kTieredPageWrites,
+  kTieredPageEvictions,
+  kTieredPoolHits,
+  kTieredPoolMisses,
+  kTieredMerges,
+  kTieredMergeEntries,
+  kTieredDeltaInserts,
 
   kCount,  // sentinel — keep last
 };

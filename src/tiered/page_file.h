@@ -1,0 +1,145 @@
+#ifndef CHAMELEON_TIERED_PAGE_FILE_H_
+#define CHAMELEON_TIERED_PAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/common.h"
+
+namespace chameleon::tiered {
+
+/// On-disk leaf file format (DESIGN.md §14). A page file is a single
+/// flat file of fixed-size pages:
+///
+///   page 0          file header (magic, version, geometry, logical
+///                   entry count, CRC32C)
+///   pages 1..N      data pages, each a sorted KeyValue run:
+///
+///     offset 0      uint32 crc32c over bytes [8, page_size) — the
+///                   whole page after the checksum+count words, so a
+///                   torn or bit-rotted page is detected on read
+///     offset 4      uint32 count — live entries in this page
+///     offset 8      uint64 page_seq — the page's own 1-based index,
+///                   guarding against misdirected reads/writes
+///     offset 16     KeyValue[count], keys ascending; the remainder of
+///                   the page is zero (and covered by the crc)
+///
+/// Pages are written with pwrite and read with pread at
+/// page_size-aligned offsets, so the format is O_DIRECT-compatible when
+/// buffers are aligned (see AllocateAligned). All multi-byte fields are
+/// little-endian native — the file is host-format, like the WAL and
+/// snapshot files in src/storage/.
+struct PageFileOptions {
+  size_t page_size = 4096;
+  /// Open the file with O_DIRECT (bypassing the page cache) so buffer
+  /// pool hit rates measure real I/O. Falls back to buffered I/O with a
+  /// warning when the filesystem refuses O_DIRECT (tmpfs, some
+  /// overlays).
+  bool direct_io = false;
+};
+
+/// Geometry/usage numbers every page holds.
+inline constexpr size_t kPageHeaderBytes = 16;
+
+/// KeyValue entries that fit one data page.
+inline constexpr size_t EntriesPerPage(size_t page_size) {
+  return (page_size - kPageHeaderBytes) / sizeof(KeyValue);
+}
+
+/// A page-aligned on-disk leaf file. Not thread-safe by itself; the
+/// buffer pool serializes access (pread/pwrite at distinct offsets are
+/// harmless to interleave, but header updates are not).
+class PageFile {
+ public:
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Creates (truncating any previous file) a page file with zero data
+  /// pages. Returns nullptr on I/O error (diagnostic on stderr).
+  static std::unique_ptr<PageFile> Create(const std::string& path,
+                                          PageFileOptions options = {});
+
+  /// Opens an existing page file and validates its header (magic,
+  /// version, page size, CRC). Returns nullptr when the file is missing
+  /// or invalid. `options.page_size` is ignored — the file's own
+  /// geometry wins — but `direct_io` applies.
+  static std::unique_ptr<PageFile> Open(const std::string& path,
+                                        PageFileOptions options = {});
+
+  /// Reads data page `page_id` (0-based) into `buf` (page_size bytes)
+  /// and verifies its checksum and page_seq. Returns false on I/O
+  /// error, short read, or corruption.
+  bool ReadPage(uint64_t page_id, void* buf);
+
+  /// Finalizes `buf` as data page `page_id` (stamps page_seq, computes
+  /// the checksum over [8, page_size)) and pwrites it, growing the file
+  /// as needed. Out-of-order writes past the end are legal — the buffer
+  /// pool's write-back order is frame order, not page order — but every
+  /// page below num_pages() must be written before the run is read (a
+  /// hole fails its checksum). The caller must have set the count word
+  /// at offset 4 and the entries.
+  bool WritePage(uint64_t page_id, void* buf);
+
+  /// Rewrites the header page with the current num_pages and the given
+  /// logical entry count, then fsyncs the file. Call after a bulk load
+  /// or merge installs a new page run.
+  bool SyncHeader(uint64_t num_entries);
+
+  /// fsync without a header rewrite (e.g. after flushing dirty pages).
+  bool Sync();
+
+  size_t page_size() const { return page_size_; }
+  size_t entries_per_page() const { return EntriesPerPage(page_size_); }
+  uint64_t num_pages() const { return num_pages_; }
+  /// Logical entry count recorded by the last SyncHeader (what a
+  /// reopened file reports before its pages are scanned).
+  uint64_t header_entries() const { return header_entries_; }
+  const std::string& path() const { return path_; }
+  /// Total file bytes (header page + data pages).
+  size_t SizeBytes() const { return (num_pages_ + 1) * page_size_; }
+
+  /// Allocates a page_size-aligned zeroed buffer usable with O_DIRECT.
+  static std::unique_ptr<uint8_t, void (*)(void*)> AllocateAligned(
+      size_t page_size, size_t count = 1);
+
+  // --- In-page accessors (shared by pool, index, and tests) ----------------
+
+  static uint32_t PageCount(const void* page) {
+    uint32_t count;
+    __builtin_memcpy(&count, static_cast<const uint8_t*>(page) + 4,
+                     sizeof(count));
+    return count;
+  }
+  static void SetPageCount(void* page, uint32_t count) {
+    __builtin_memcpy(static_cast<uint8_t*>(page) + 4, &count, sizeof(count));
+  }
+  static const KeyValue* PageEntries(const void* page) {
+    return reinterpret_cast<const KeyValue*>(
+        static_cast<const uint8_t*>(page) + kPageHeaderBytes);
+  }
+  static KeyValue* PageEntries(void* page) {
+    return reinterpret_cast<KeyValue*>(static_cast<uint8_t*>(page) +
+                                       kPageHeaderBytes);
+  }
+
+ private:
+  PageFile(std::string path, int fd, PageFileOptions options);
+
+  bool WriteHeader(uint64_t num_entries);
+  bool ReadHeader();
+
+  std::string path_;
+  int fd_ = -1;
+  size_t page_size_ = 4096;
+  bool direct_io_ = false;
+  uint64_t num_pages_ = 0;
+  uint64_t header_entries_ = 0;
+};
+
+}  // namespace chameleon::tiered
+
+#endif  // CHAMELEON_TIERED_PAGE_FILE_H_

@@ -1,0 +1,194 @@
+#ifndef CHAMELEON_TIERED_TIERED_INDEX_H_
+#define CHAMELEON_TIERED_TIERED_INDEX_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/api/kv_index.h"
+#include "src/tiered/buffer_pool.h"
+#include "src/tiered/page_file.h"
+
+namespace chameleon {
+
+struct TieredOptions {
+  /// On-disk page size in bytes (must be a multiple of 512; 4096-byte
+  /// pages hold 255 KeyValue entries).
+  size_t page_size = 4096;
+  /// Buffer-pool frame budget. frames * page_size bytes of page cache;
+  /// a budget smaller than the data forces CLOCK evictions.
+  size_t frames = 256;
+  /// Absorbed writes (delta entries + tombstones) that trigger an
+  /// automatic Merge() into a rewritten page run.
+  size_t merge_threshold = 8192;
+  /// Open the page file with O_DIRECT (falls back to buffered I/O with
+  /// a warning where unsupported, e.g. tmpfs).
+  bool direct_io = false;
+};
+
+/// Tiered disk-resident leaf storage (DESIGN.md §14): the hybrid
+/// memory/disk pattern of "Making In-Memory Learned Indexes Efficient
+/// on Disk" (SIGMOD 2024). The bulk-loaded key space lives in a
+/// page-aligned on-disk run (`<dir>/main.pages`) behind a fixed-budget
+/// buffer pool; an in-memory *delta index* — a fresh instance of the
+/// wrapped spec, e.g. Chameleon — absorbs Insert/Erase; a
+/// threshold-triggered Merge() compacts delta + tombstones into a
+/// rewritten page run installed by atomic rename.
+///
+/// Read path: Lookup probes the delta first (newest data wins), then
+/// the tombstone set (a deleted/shadowed disk key is a miss), then
+/// routes through the buffer pool to the one candidate disk page found
+/// by binary search over the in-memory page fence keys. RangeScan
+/// merge-joins pooled disk pages with the delta's scan; LookupBatch is
+/// the delta's batched probe plus per-miss disk probes — bit-identical
+/// to per-key Lookup by construction.
+///
+/// Write semantics (keys unique across tiers):
+///   * a key is "live on disk" when it is in the page run and not
+///     tombstoned; tombstones_ only ever names disk keys;
+///   * delta and live-disk key sets are disjoint: an Insert that would
+///     shadow a live disk key is rejected (duplicate), an Erase of a
+///     live disk key tombstones it, and re-inserting an erased disk key
+///     lands in the delta while the tombstone keeps the stale disk copy
+///     dead until the next merge drops it.
+///
+/// Thread model: concurrent readers are safe (the pool serializes frame
+/// traffic; fences and the delta are read-only between writes), writers
+/// are externally serialized like every other single-writer index —
+/// SupportsConcurrentWrites() is false. HeatmapSnapshot() may be polled
+/// live by the metrics sampler; it only touches state guarded against
+/// Merge's structural swap.
+///
+/// Clean close: the destructor merges any outstanding delta/tombstones
+/// into the page run, so a later TieredIndex on the same directory can
+/// Recover() the full key set from disk alone (no WAL — crash-safety
+/// composes via an outer Durable layer, which replays unmerged writes
+/// into a recovered TieredIndex).
+class TieredIndex final : public KvIndex {
+ public:
+  /// `delta_factory` builds a fresh empty instance of the wrapped spec;
+  /// it is invoked once at construction and after every merge.
+  TieredIndex(std::string dir, TieredOptions options,
+              std::function<std::unique_ptr<KvIndex>()> delta_factory);
+  ~TieredIndex() override;
+
+  TieredIndex(const TieredIndex&) = delete;
+  TieredIndex& operator=(const TieredIndex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Lookup(Key key, Value* value) const override;
+  void LookupBatch(std::span<const Key> keys, Value* values,
+                   bool* found) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t RangeScan(Key lo, Key hi, std::vector<KeyValue>* out) const override;
+  size_t size() const override;
+  size_t SizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return name_; }
+  obs::Heatmap HeatmapSnapshot() const override;
+
+  /// Reopens the page run left by a clean close on this directory.
+  /// Returns false when `<dir>/main.pages` is missing or corrupt. Call
+  /// on a fresh instance instead of BulkLoad (the Durable recovery
+  /// contract).
+  bool Recover() override;
+
+  /// Compacts delta + tombstones into a rewritten page run (temp file,
+  /// fsync, atomic rename, pool reset). No-op when there is nothing to
+  /// merge. Returns false on I/O failure, leaving the old run and the
+  /// delta intact.
+  bool Merge();
+
+  // --- Introspection (chameleon_inspect, benches, tests) -------------------
+
+  const tiered::BufferPool* pool() const { return pool_.get(); }
+  size_t delta_entries() const { return delta_->size(); }
+  size_t tombstone_count() const { return tombstones_.size(); }
+  uint64_t disk_pages() const { return main_ ? main_->num_pages() : 0; }
+  uint64_t disk_entries() const { return disk_entries_; }
+  uint64_t merges() const { return merges_; }
+  size_t frame_budget() const { return options_.frames; }
+  size_t page_size() const { return options_.page_size; }
+  const std::string& dir() const { return dir_; }
+  const KvIndex& delta() const { return *delta_; }
+
+ private:
+  /// Creates `<dir>/main.pages` (empty run) and the pool if the index
+  /// was never bulk-loaded; Merge and the destructor need a file.
+  bool EnsureMainFile();
+  /// Fence binary search: index of the one page that could hold `key`,
+  /// or npos when the run is empty or key precedes every fence.
+  size_t CandidatePage(Key key) const;
+  bool DiskLookup(Key key, Value* value) const;
+  bool DiskContains(Key key) const { return DiskLookup(key, nullptr); }
+  void RecordPageRead(size_t page) const;
+  void RecordPageWrite(size_t page) const;
+  void MaybeMerge();
+
+  std::string dir_;
+  std::string name_;
+  TieredOptions options_;
+  std::function<std::unique_ptr<KvIndex>()> delta_factory_;
+
+  std::unique_ptr<tiered::PageFile> main_;
+  std::unique_ptr<tiered::BufferPool> pool_;
+  /// First key of each data page, ascending — the in-memory router from
+  /// key to page (8 bytes per 4K page).
+  std::vector<Key> fences_;
+  Key disk_max_key_ = 0;
+  uint64_t disk_entries_ = 0;
+  uint64_t merges_ = 0;
+
+  std::unique_ptr<KvIndex> delta_;
+  std::unordered_set<Key> tombstones_;
+
+  /// Guards the per-page heat arrays and fence snapshotting against
+  /// Merge's structural swap: probes hold it shared to bump a counter,
+  /// HeatmapSnapshot holds it shared to read, Merge holds it exclusive
+  /// to reallocate.
+  mutable std::shared_mutex heat_mu_;
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> heat_reads_;
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> heat_writes_;
+};
+
+/// Aggregated tiered-layer statistics for an index stack (the
+/// chameleon_inspect "tiered" block). Sums across every TieredIndex in
+/// the stack (Sharded4:Disk(...) has four).
+struct TieredStatsBlock {
+  size_t layers = 0;  // TieredIndex instances found
+  size_t frames = 0;
+  size_t page_size = 0;  // of the first layer (uniform in practice)
+  uint64_t pages = 0;
+  uint64_t disk_entries = 0;
+  size_t delta_entries = 0;
+  size_t tombstones = 0;
+  uint64_t merges = 0;
+  tiered::BufferPoolStats pool;
+};
+
+/// Walks an index stack (through Sharded/Durable adapters, mirroring
+/// SimulateCrashStack) and accumulates every tiered layer's stats into
+/// `*out`. Returns true when at least one TieredIndex was found.
+bool CollectTieredStats(const KvIndex* index, TieredStatsBlock* out);
+
+/// Factory entry point: a TieredIndex over `dir` whose delta (and
+/// conceptual inner structure) is built from `inner_spec` — any spec
+/// MakeIndex accepts. MakeIndex also accepts the spelled-out spec
+/// "Disk(<dir>[,pages=<bytes>][,frames=<N>][,merge=<N>][,direct=on|off]):<inner_spec>".
+std::unique_ptr<KvIndex> MakeTieredIndex(std::string inner_spec,
+                                         std::string dir,
+                                         TieredOptions options = {});
+
+/// Registers the "Disk(...)" decorator in the index-spec registry.
+/// Called by EnsureBuiltinIndexDecorators(); not for direct use.
+void RegisterTieredDecorator();
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_TIERED_TIERED_INDEX_H_

@@ -32,19 +32,48 @@ class ConformanceTest : public ::testing::TestWithParam<Param> {
   std::vector<KeyValue> data_;
   std::vector<std::string> scratch_dirs_;  // durability dirs, see below
 
-  /// Builds the index the param names. Storage-layer params spell the
-  /// durability adapter as a bare "Durable:" token (anywhere in the
+  /// Builds the index the param names. Directory-rooted adapters are
+  /// spelled as bare "Durable:" / "Disk:" tokens (anywhere in the
   /// stack, e.g. "Sharded2:Durable:Chameleon") so param names stay
-  /// path-free; it expands to "Durable(<scratch>,fsync=everyN):" with a
-  /// per-test scratch directory here (`tag` keeps multiple instances in
-  /// one test apart). Group commit instead of fsync-per-op: this suite
+  /// path-free; they expand to "Durable(<scratch>,fsync=everyN):" /
+  /// "Disk(<scratch>,frames=16,merge=2000):" with a per-test scratch
+  /// directory here (`tag` keeps multiple instances in one test apart).
+  /// Durable uses group commit instead of fsync-per-op: this suite
   /// checks KvIndex behavior through the WAL write path, not crash
   /// durability (the fsync contract is WalTest / DurableIndexTest's).
+  /// Disk runs with 16 frames (64 KB of pool vs a ~79-page load, so
+  /// CLOCK evictions fire constantly) and a 2000-op merge threshold
+  /// (the CRUD tests cross it several times), making every test here
+  /// double as an eviction/merge correctness check.
   std::unique_ptr<KvIndex> MakeParamIndex(const std::string& name,
                                           const char* tag = "") {
+    std::string spec = name;
+    bool expanded = false;
     constexpr std::string_view kDurable = "Durable:";
-    const size_t at = name.find(kDurable);
-    if (at == std::string::npos) return MakeIndex(name);
+    size_t at = spec.find(kDurable);
+    if (at != std::string::npos) {
+      const std::string dir = ScratchDir(std::string(tag) + "_dur");
+      scratch_dirs_.push_back(dir);
+      spec.replace(at, kDurable.size(), "Durable(" + dir + ",fsync=everyN):");
+      expanded = true;
+    }
+    constexpr std::string_view kDisk = "Disk:";
+    at = spec.find(kDisk);
+    if (at != std::string::npos) {
+      const std::string dir = ScratchDir(std::string(tag) + "_disk");
+      scratch_dirs_.push_back(dir);
+      spec.replace(at, kDisk.size(), "Disk(" + dir + ",frames=16,merge=2000):");
+      expanded = true;
+    }
+    if (!expanded) return MakeIndex(name);
+    std::string error;
+    std::unique_ptr<KvIndex> index = MakeIndex(spec, &error);
+    EXPECT_NE(index, nullptr) << spec << ": " << error;
+    return index;
+  }
+
+  /// A fresh per-test scratch directory (removed in TearDown).
+  std::string ScratchDir(const std::string& tag) {
     std::string test =
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
     for (char& c : test) {
@@ -52,13 +81,7 @@ class ConformanceTest : public ::testing::TestWithParam<Param> {
     }
     const std::string dir = ::testing::TempDir() + "/conf_" + test + tag;
     std::filesystem::remove_all(dir);
-    scratch_dirs_.push_back(dir);
-    std::string spec = name;
-    spec.replace(at, kDurable.size(), "Durable(" + dir + ",fsync=everyN):");
-    std::string error;
-    std::unique_ptr<KvIndex> index = MakeIndex(spec, &error);
-    EXPECT_NE(index, nullptr) << spec << ": " << error;
-    return index;
+    return dir;
   }
 
   void SetUp() override {
@@ -405,6 +428,17 @@ std::vector<Param> AllParams() {
   // must still be contract-indistinguishable from a single index.
   for (const std::string& name : {std::string("Sharded2:Durable:Chameleon"),
                                   std::string("Sharded2:Durable:B+Tree")}) {
+    for (DatasetKind kind : kAllDatasets) {
+      params.push_back({name, kind});
+    }
+  }
+  // The tiered layer too: paging the leaves to disk behind a starved
+  // buffer pool (16 frames, merges every 2000 absorbed writes — see
+  // MakeParamIndex) must be invisible to every KvIndex consumer, alone
+  // and under a sharded deployment.
+  for (const std::string& name : {std::string("Disk:Chameleon"),
+                                  std::string("Disk:B+Tree"),
+                                  std::string("Sharded4:Disk:Chameleon")}) {
     for (DatasetKind kind : kAllDatasets) {
       params.push_back({name, kind});
     }

@@ -1,0 +1,327 @@
+// TieredIndex behavior tests: delta-merge equivalence against an
+// all-in-memory oracle, reopen-from-disk after a clean close, explicit
+// Merge() semantics, spec-grammar options, and stack introspection.
+// (The full KvIndex contract over Disk(...) stacks is covered by the
+// conformance suite; these tests pin the tiered-specific lifecycle.)
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/index_factory.h"
+#include "src/data/dataset.h"
+#include "src/tiered/tiered_index.h"
+#include "src/util/random.h"
+
+namespace chameleon {
+namespace {
+
+class TieredIndexTest : public ::testing::Test {
+ protected:
+  std::string dir_;
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/tiered_idx_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<KvIndex> MakeTiered(const std::string& opts = "") {
+    std::string error;
+    std::unique_ptr<KvIndex> index =
+        MakeIndex("Disk(" + dir_ + opts + "):Chameleon", &error);
+    EXPECT_NE(index, nullptr) << error;
+    return index;
+  }
+
+  static std::vector<KeyValue> Load(size_t n, uint64_t seed = 7) {
+    return ToKeyValues(GenerateDataset(DatasetKind::kLogn, n, seed));
+  }
+};
+
+TEST_F(TieredIndexTest, DeltaMergeMatchesInMemoryOracle) {
+  // Starved pool + aggressive merges: every few hundred absorbed writes
+  // rewrite the page run. The index must stay bit-equal to a std::map
+  // oracle through many merge generations.
+  std::unique_ptr<KvIndex> index = MakeTiered(",frames=8,merge=500");
+  const std::vector<KeyValue> data = Load(10'000);
+  index->BulkLoad(data);
+  std::map<Key, Value> oracle;
+  for (const KeyValue& kv : data) oracle[kv.key] = kv.value;
+
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_NE(tiered, nullptr);
+
+  Rng rng(17);
+  for (int op = 0; op < 6'000; ++op) {
+    const Key base = data[rng.NextBounded(data.size())].key;
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const Key k = base + rng.NextBounded(8);
+      Value v = 0;
+      const bool got = index->Lookup(k, &v);
+      const auto it = oracle.find(k);
+      ASSERT_EQ(got, it != oracle.end()) << k;
+      if (got) {
+        ASSERT_EQ(v, it->second);
+      }
+    } else if (dice < 0.75) {
+      const Key k = base + rng.NextBounded(8);
+      const bool inserted = index->Insert(k, k ^ 0xF00D);
+      ASSERT_EQ(inserted, !oracle.contains(k)) << k;
+      if (inserted) oracle[k] = k ^ 0xF00D;
+    } else {
+      const Key k = base + rng.NextBounded(8);
+      ASSERT_EQ(index->Erase(k), oracle.erase(k) > 0) << k;
+    }
+    ASSERT_EQ(index->size(), oracle.size());
+  }
+  // The 500-op threshold must have fired several times by now.
+  EXPECT_GE(tiered->merges(), 3u);
+
+  // Full sweep: every oracle key present with the right value, and a
+  // full-range scan returns exactly the oracle contents in order.
+  for (const auto& [k, v] : oracle) {
+    Value got = 0;
+    ASSERT_TRUE(index->Lookup(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+  std::vector<KeyValue> scanned;
+  index->RangeScan(oracle.begin()->first, oracle.rbegin()->first, &scanned);
+  ASSERT_EQ(scanned.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const KeyValue& kv : scanned) {
+    ASSERT_EQ(kv.key, it->first);
+    ASSERT_EQ(kv.value, it->second);
+    ++it;
+  }
+}
+
+TEST_F(TieredIndexTest, EvictionsFireWithoutCorrectnessLoss) {
+  // 10k keys = ~40 pages through 4 frames: the pool must evict
+  // constantly while every probe still answers correctly.
+  std::unique_ptr<KvIndex> index = MakeTiered(",frames=4");
+  const std::vector<KeyValue> data = Load(10'000);
+  index->BulkLoad(data);
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_NE(tiered, nullptr);
+  Rng rng(3);
+  for (int i = 0; i < 5'000; ++i) {
+    const KeyValue& kv = data[rng.NextBounded(data.size())];
+    Value v = 0;
+    ASSERT_TRUE(index->Lookup(kv.key, &v));
+    ASSERT_EQ(v, kv.value);
+  }
+  const tiered::BufferPoolStats s = tiered->pool()->stats();
+  EXPECT_GT(s.evictions, 100u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(tiered->disk_pages(), 4u);
+}
+
+TEST_F(TieredIndexTest, ReopenAfterCleanClose) {
+  const std::vector<KeyValue> data = Load(5'000);
+  std::map<Key, Value> oracle;
+  for (const KeyValue& kv : data) oracle[kv.key] = kv.value;
+  {
+    std::unique_ptr<KvIndex> index = MakeTiered();
+    index->BulkLoad(data);
+    // Leave unmerged writes behind: the destructor must fold them in.
+    Rng rng(9);
+    for (int i = 0; i < 800; ++i) {
+      const Key k = data[rng.NextBounded(data.size())].key;
+      if (i % 3 == 0) {
+        if (index->Erase(k)) oracle.erase(k);
+      } else {
+        const Key fresh = k + 1 + rng.NextBounded(4);
+        if (index->Insert(fresh, fresh * 11)) oracle[fresh] = fresh * 11;
+      }
+    }
+    ASSERT_EQ(index->size(), oracle.size());
+  }  // clean close: merge + fsync
+
+  std::unique_ptr<KvIndex> reopened = MakeTiered();
+  auto* tiered = dynamic_cast<TieredIndex*>(reopened.get());
+  ASSERT_NE(tiered, nullptr);
+  ASSERT_TRUE(reopened->Recover());
+  ASSERT_EQ(reopened->size(), oracle.size());
+  EXPECT_EQ(tiered->delta_entries(), 0u);
+  EXPECT_EQ(tiered->tombstone_count(), 0u);
+  for (const auto& [k, v] : oracle) {
+    Value got = 0;
+    ASSERT_TRUE(reopened->Lookup(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+  // And the recovered index accepts further writes.
+  ASSERT_TRUE(reopened->Insert(1, 2));
+  Value v = 0;
+  ASSERT_TRUE(reopened->Lookup(1, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_F(TieredIndexTest, RecoverFailsOnMissingOrCorruptRun) {
+  {
+    std::unique_ptr<KvIndex> fresh = MakeTiered();
+    EXPECT_FALSE(fresh->Recover());  // nothing on disk yet
+  }
+  {
+    std::unique_ptr<KvIndex> index = MakeTiered();
+    index->BulkLoad(Load(2'000));
+  }
+  // Corrupt a data page; recovery's full scan must reject the run.
+  {
+    std::FILE* raw = std::fopen((dir_ + "/main.pages").c_str(), "r+b");
+    ASSERT_NE(raw, nullptr);
+    std::fseek(raw, 4096 + 200, SEEK_SET);
+    std::fputc(0x13, raw);
+    std::fclose(raw);
+  }
+  std::unique_ptr<KvIndex> reopened = MakeTiered();
+  EXPECT_FALSE(reopened->Recover());
+}
+
+TEST_F(TieredIndexTest, ExplicitMergeDrainsDeltaAndTombstones) {
+  std::unique_ptr<KvIndex> index = MakeTiered();  // default threshold: high
+  const std::vector<KeyValue> data = Load(4'000);
+  index->BulkLoad(data);
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_NE(tiered, nullptr);
+
+  ASSERT_TRUE(index->Erase(data[0].key));
+  ASSERT_TRUE(index->Erase(data[10].key));
+  ASSERT_TRUE(index->Insert(data[0].key, 999));  // shadow a tombstone
+  ASSERT_TRUE(index->Insert(data[1].key + 1, 5));
+  EXPECT_EQ(tiered->delta_entries(), 2u);
+  EXPECT_EQ(tiered->tombstone_count(), 2u);
+  const size_t size_before = index->size();
+
+  ASSERT_TRUE(tiered->Merge());
+  EXPECT_EQ(tiered->delta_entries(), 0u);
+  EXPECT_EQ(tiered->tombstone_count(), 0u);
+  EXPECT_EQ(tiered->merges(), 1u);
+  EXPECT_EQ(index->size(), size_before);
+  EXPECT_EQ(tiered->disk_entries(), size_before);
+
+  Value v = 0;
+  ASSERT_TRUE(index->Lookup(data[0].key, &v));
+  EXPECT_EQ(v, 999u);  // shadow won
+  EXPECT_FALSE(index->Lookup(data[10].key, nullptr));
+  ASSERT_TRUE(index->Lookup(data[1].key + 1, &v));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST_F(TieredIndexTest, InsertWithoutBulkLoadMergesIntoEmptyRun) {
+  std::unique_ptr<KvIndex> index = MakeTiered(",merge=64");
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_NE(tiered, nullptr);
+  for (Key k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(index->Insert(k, k * 2));
+  }
+  EXPECT_GE(tiered->merges(), 1u);
+  EXPECT_EQ(index->size(), 300u);
+  for (Key k = 1; k <= 300; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(index->Lookup(k, &v)) << k;
+    ASSERT_EQ(v, k * 2);
+  }
+}
+
+TEST_F(TieredIndexTest, HeatmapTracksDiskPages) {
+  std::unique_ptr<KvIndex> index = MakeTiered();
+  const std::vector<KeyValue> data = Load(4'000);
+  index->BulkLoad(data);
+  const obs::Heatmap map = index->HeatmapSnapshot();
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_EQ(map.size(), tiered->disk_pages());
+  for (size_t i = 0; i + 1 < map.size(); ++i) {
+    EXPECT_LT(map[i].lo, map[i].hi);
+    EXPECT_EQ(map[i].hi, map[i + 1].lo);
+  }
+#ifndef CHAMELEON_NO_STATS
+  // Hammer one key range, then expect its page to be the hottest.
+  for (int i = 0; i < 2'000; ++i) {
+    index->Lookup(data[100].key, nullptr);
+  }
+  const obs::Heatmap after = index->HeatmapSnapshot();
+  uint64_t total = 0;
+  for (const obs::UnitHeat& u : after) total += u.reads;
+  EXPECT_GT(total, 0u);
+#endif
+}
+
+TEST_F(TieredIndexTest, SpecOptionsAndErrors) {
+  std::string error;
+  // Unknown option, bad values, missing dir: position-accurate errors.
+  EXPECT_EQ(MakeIndex("Disk:Chameleon", &error), nullptr);
+  EXPECT_NE(error.find("directory"), std::string::npos) << error;
+  EXPECT_EQ(MakeIndex("Disk(" + dir_ + ",bogus=1):Chameleon", &error),
+            nullptr);
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_EQ(MakeIndex("Disk(" + dir_ + ",pages=100):Chameleon", &error),
+            nullptr);
+  EXPECT_EQ(MakeIndex("Disk(" + dir_ + ",frames=0):Chameleon", &error),
+            nullptr);
+  EXPECT_EQ(MakeIndex("Disk(" + dir_ + ",direct=maybe):Chameleon", &error),
+            nullptr);
+  EXPECT_EQ(MakeIndex("Disk4(" + dir_ + "):Chameleon", &error), nullptr);
+
+  // "4K" page-size shorthand parses; the stack reports its name.
+  std::unique_ptr<KvIndex> index =
+      MakeIndex("Disk(" + dir_ + ",pages=4K,frames=32):Chameleon", &error);
+  ASSERT_NE(index, nullptr) << error;
+  EXPECT_EQ(index->Name(), "Disk:Chameleon");
+  auto* tiered = dynamic_cast<TieredIndex*>(index.get());
+  ASSERT_NE(tiered, nullptr);
+  EXPECT_EQ(tiered->page_size(), 4096u);
+  EXPECT_EQ(tiered->frame_budget(), 32u);
+}
+
+TEST_F(TieredIndexTest, CollectTieredStatsWalksAdapterStacks) {
+  std::string error;
+  std::unique_ptr<KvIndex> index =
+      MakeIndex("Sharded2:Disk(" + dir_ + ",frames=8):Chameleon", &error);
+  ASSERT_NE(index, nullptr) << error;
+  index->BulkLoad(Load(6'000));
+  for (int i = 0; i < 200; ++i) {
+    index->Lookup(static_cast<Key>(i) * 131, nullptr);
+  }
+  TieredStatsBlock block;
+  ASSERT_TRUE(CollectTieredStats(index.get(), &block));
+  EXPECT_EQ(block.layers, 2u);       // one tiered layer per shard
+  EXPECT_EQ(block.frames, 16u);      // 8 frames each
+  EXPECT_EQ(block.page_size, 4096u);
+  EXPECT_EQ(block.disk_entries, 6'000u);
+  EXPECT_GT(block.pages, 0u);
+  EXPECT_GT(block.pool.hits + block.pool.misses, 0u);
+
+  // A stack without a tiered layer reports absence.
+  std::unique_ptr<KvIndex> volatile_index = MakeIndex("Chameleon");
+  TieredStatsBlock none;
+  EXPECT_FALSE(CollectTieredStats(volatile_index.get(), &none));
+  EXPECT_EQ(none.layers, 0u);
+}
+
+TEST_F(TieredIndexTest, ShardedDiskUsesPerShardDirectories) {
+  std::string error;
+  std::unique_ptr<KvIndex> index =
+      MakeIndex("Sharded2:Disk(" + dir_ + "):Chameleon", &error);
+  ASSERT_NE(index, nullptr) << error;
+  index->BulkLoad(Load(4'000));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/shard-0/main.pages"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/shard-1/main.pages"));
+}
+
+TEST_F(TieredIndexTest, MakeTieredIndexFactoryHelper) {
+  std::unique_ptr<KvIndex> index = MakeTieredIndex("B+Tree", dir_);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Name(), "Disk:B+Tree");
+  EXPECT_EQ(MakeTieredIndex("NoSuchIndex", dir_), nullptr);
+  EXPECT_EQ(MakeTieredIndex("B+Tree", ""), nullptr);
+}
+
+}  // namespace
+}  // namespace chameleon

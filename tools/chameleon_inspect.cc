@@ -23,6 +23,12 @@
 //   --out=PATH     write the JSON there instead of stdout
 //   --prom         also print the Prometheus rendering of the metrics
 //                  registry to stderr after the replay
+//   --tiered       require a Disk(...) layer in the composed stack and
+//                  fail (exit 2) when there is none. The "tiered" JSON
+//                  block itself is emitted automatically whenever the
+//                  stack pages its leaves to disk — the flag only turns
+//                  "silently not tiered" into a loud error for scripts
+//                  that specifically probe the disk tier.
 //   --kernels      print CPU features, the SIMD probe-kernel tiers this
 //                  build+host can run, the dispatched tier, and the
 //                  kernel selected per operation (JSON), then exit.
@@ -40,6 +46,7 @@
 
 #include "bench/bench_util.h"
 #include "src/data/skew.h"
+#include "src/tiered/tiered_index.h"
 
 using namespace chameleon;
 using namespace chameleon::bench;
@@ -56,6 +63,7 @@ struct InspectFlags {
   std::string out;
   bool prom = false;
   bool kernels = false;
+  bool tiered = false;
 };
 
 bool ParseDouble(const char* s, double* out) {
@@ -90,6 +98,8 @@ InspectFlags ParseInspectFlags(int argc, char** argv) {
       f.prom = true;
     } else if (std::strcmp(arg, "--kernels") == 0) {
       f.kernels = true;
+    } else if (std::strcmp(arg, "--tiered") == 0) {
+      f.tiered = true;
     } else if (!Options::IsHarnessFlag(arg)) {
       std::fprintf(stderr, "ERROR: unknown flag \"%s\"\n", arg);
       std::exit(2);
@@ -176,6 +186,19 @@ int main(int argc, char** argv) {
   const std::vector<Key> keys = MakeKeys(flags, opt);
   const std::vector<KeyValue> data = ToKeyValues(keys);
   std::unique_ptr<KvIndex> index = MakeBenchIndex(flags.index, opt);
+  // --tiered is a probe of the disk tier; running it against a stack
+  // with no Disk(...) layer would silently report nothing. Same idiom
+  // as the --mix / --rthreads capability rejection: hard loud error.
+  if (flags.tiered) {
+    TieredStatsBlock probe;
+    if (!CollectTieredStats(index.get(), &probe)) {
+      std::fprintf(stderr,
+                   "ERROR: --tiered requires a Disk(...) layer, but spec "
+                   "\"%s\" has none\n",
+                   ComposeSpec(flags.index, opt).c_str());
+      std::exit(2);
+    }
+  }
   // With --mix > 0 the replay stream is write-bearing, so honoring a
   // multi-threaded request needs concurrent-write support from this
   // exact composed stack. Single-stack tool: no row to skip to, so an
@@ -269,6 +292,33 @@ int main(int argc, char** argv) {
       obs::TopKHottest(index->WriteContentionSnapshot(), flags.top);
   std::fprintf(out, "  \"write_contention\": %s,\n",
                obs::HeatmapJson(contention).c_str());
+
+  // Disk tier, when the stack has one: pool geometry and hit rate, the
+  // delta/tombstone backlog, and the merge count — summed across every
+  // tiered layer (per-shard layers under Sharded). Snapshot taken after
+  // the replay so it reflects the workload just run.
+  TieredStatsBlock tiered;
+  if (CollectTieredStats(index.get(), &tiered)) {
+    std::fprintf(out,
+                 "  \"tiered\": {\"layers\": %zu, \"frames\": %zu, "
+                 "\"page_size\": %zu, \"pages\": %llu, "
+                 "\"disk_entries\": %llu, \"delta_entries\": %zu, "
+                 "\"tombstones\": %zu, \"merges\": %llu,\n"
+                 "    \"pool\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"hit_rate\": %.6g, \"evictions\": %llu, "
+                 "\"page_reads\": %llu, \"page_writes\": %llu}},\n",
+                 tiered.layers, tiered.frames, tiered.page_size,
+                 static_cast<unsigned long long>(tiered.pages),
+                 static_cast<unsigned long long>(tiered.disk_entries),
+                 tiered.delta_entries, tiered.tombstones,
+                 static_cast<unsigned long long>(tiered.merges),
+                 static_cast<unsigned long long>(tiered.pool.hits),
+                 static_cast<unsigned long long>(tiered.pool.misses),
+                 tiered.pool.HitRate(),
+                 static_cast<unsigned long long>(tiered.pool.evictions),
+                 static_cast<unsigned long long>(tiered.pool.page_reads),
+                 static_cast<unsigned long long>(tiered.pool.page_writes));
+  }
 
   const obs::CounterSnapshot snap = obs::StatsRegistry::Get().Snapshot();
   std::fprintf(out, "  \"counters\": {");
