@@ -18,6 +18,10 @@ using namespace chameleon::bench;
 int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
   JsonReport report("fig08_readonly", opt);
+  // Default mix: uniform point lookups (the paper's read-only setup);
+  // --workload can skew or redirect the whole sweep.
+  const WorkloadDesc workload = ResolveWorkload(opt, "read");
+  report.SetWorkload(workload.Canonical());
   std::printf("=== Fig. 8: read-only query latency & index size ===\n");
   std::printf("(paper runs 50M-200M keys; this run scales them to %zu-%zu)\n",
               opt.scale / 4, opt.scale);
@@ -40,8 +44,8 @@ int main(int argc, char** argv) {
         const std::vector<KeyValue> data = ToKeyValues(keys);
         std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(data);
-        WorkloadGenerator gen(keys, opt.seed + frac);
-        const std::vector<Operation> ops = gen.ReadOnly(opt.ops);
+        const std::vector<Operation> ops =
+            MaterializeWorkload(workload, keys, opt.seed + frac, opt.ops);
         // Read-only stream: the driver may fan it out over --rthreads.
         const double ns =
             Replay(index.get(), ops, ReadReplayOptions(opt), report.lat())

@@ -22,6 +22,22 @@ int main(int argc, char** argv) {
   const double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   size_t swept = 0;
 
+  // Sweep points: the built-in ratio sweep expressed in the workload
+  // grammar ("mixed(w=R)" per point), or a single --workload override
+  // replacing the whole sweep (its variable IS the workload).
+  std::vector<WorkloadDesc> points;
+  if (opt.workload.empty()) {
+    for (double r : ratios) {
+      WorkloadDesc d;
+      d.family = WorkloadDesc::Family::kMixed;
+      d.write_ratio = r;
+      points.push_back(d);
+    }
+  } else {
+    points.push_back(ResolveWorkload(opt, "mixed"));
+    report.SetWorkload(points[0].Canonical());
+  }
+
   std::printf("=== Fig. 11: throughput (Mops/s) vs read-write ratio ===\n");
   std::printf("initialize %zu keys, %zu ops per point\n", init, opt.ops);
 
@@ -29,7 +45,13 @@ int main(int argc, char** argv) {
     std::printf("\n--- dataset %s ---\n",
                 std::string(DatasetName(kind)).c_str());
     std::printf("%-10s", "index");
-    for (double r : ratios) std::printf(" %8.2f", r);
+    for (const WorkloadDesc& d : points) {
+      if (d.family == WorkloadDesc::Family::kMixed) {
+        std::printf(" %8.2f", d.write_ratio);
+      } else {
+        std::printf(" %s", d.Canonical().c_str());
+      }
+    }
     std::printf("\n");
     PrintRule(70);
     for (const std::string& name : UpdatableIndexNames()) {
@@ -46,30 +68,34 @@ int main(int argc, char** argv) {
       }
       ++swept;
       std::printf("%-10s", name.c_str());
-      for (double r : ratios) {
+      for (const WorkloadDesc& d : points) {
         const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
         std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(ToKeyValues(keys));
-        WorkloadGenerator gen(keys, opt.seed + 1);
-        const std::vector<Operation> ops = gen.MixedReadWrite(opt.ops, r);
-        // The all-read point (write ratio 0) takes the read replay
-        // path (contiguous chunks); every other ratio carries writes
-        // and replays on WriteThreads(opt) threads with key-ownership
-        // partitioning, so all six ratio points run under the same
-        // thread count and stay comparable.
+        const std::vector<Operation> ops =
+            MaterializeWorkload(d, keys, opt.seed + 1, opt.ops);
+        // All-read points take the read replay path (contiguous
+        // chunks); write-bearing points replay on WriteThreads(opt)
+        // threads with key-ownership partitioning, so every sweep
+        // point runs under the same thread count and stays comparable.
         const double ns =
             Replay(index.get(), ops,
-                   r == 0.0 ? ReadReplayOptions(opt) : WriteReplayOptions(opt),
+                   d.has_writes() ? WriteReplayOptions(opt)
+                                  : ReadReplayOptions(opt),
                    report.lat())
                 .MeanNs();
         const double mops = ns > 0.0 ? 1e3 / ns : 0.0;
         std::printf(" %8.3f", mops);
-        report.AddRow()
-            .Str("dataset", DatasetName(kind))
-            .Str("index", name)
-            .Num("write_ratio", r)
-            .Num("threads", static_cast<double>(
-                                r == 0.0 ? opt.rthreads : WriteThreads(opt)))
+        JsonReport::Row& row = report.AddRow()
+                                   .Str("dataset", DatasetName(kind))
+                                   .Str("index", name)
+                                   .Str("workload", d.Canonical());
+        if (d.family == WorkloadDesc::Family::kMixed) {
+          row.Num("write_ratio", d.write_ratio);
+        }
+        row.Num("threads",
+                static_cast<double>(d.has_writes() ? WriteThreads(opt)
+                                                   : opt.rthreads))
             .Num("throughput_mops", mops);
         std::fflush(stdout);
       }

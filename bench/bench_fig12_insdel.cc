@@ -20,6 +20,21 @@ int main(int argc, char** argv) {
   const size_t init = opt.scale / 5;
   const double ratios[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 
+  // Built-in sweep = "insdel(u=R)" per ratio; --workload replaces the
+  // whole sweep with one spec.
+  std::vector<WorkloadDesc> points;
+  if (opt.workload.empty()) {
+    for (double r : ratios) {
+      WorkloadDesc d;
+      d.family = WorkloadDesc::Family::kInsDel;
+      d.update_ratio = r;
+      points.push_back(d);
+    }
+  } else {
+    points.push_back(ResolveWorkload(opt, "insdel"));
+    report.SetWorkload(points[0].Canonical());
+  }
+
   std::printf("=== Fig. 12: throughput (Mops/s) vs insert-delete ratio ===\n");
   std::printf("initialize %zu keys, %zu ops per point\n", init, opt.ops);
 
@@ -27,28 +42,39 @@ int main(int argc, char** argv) {
     std::printf("\n--- dataset %s ---\n",
                 std::string(DatasetName(kind)).c_str());
     std::printf("%-10s", "index");
-    for (double r : ratios) std::printf(" %8.2f", r);
+    for (const WorkloadDesc& d : points) {
+      if (d.family == WorkloadDesc::Family::kInsDel) {
+        std::printf(" %8.2f", d.update_ratio);
+      } else {
+        std::printf(" %s", d.Canonical().c_str());
+      }
+    }
     std::printf("\n");
     PrintRule(60);
     for (const std::string& name : UpdatableIndexNames()) {
       std::printf("%-10s", name.c_str());
-      for (double r : ratios) {
+      for (const WorkloadDesc& d : points) {
         const std::vector<Key> keys = GenerateDataset(kind, init, opt.seed);
         std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
         index->BulkLoad(ToKeyValues(keys));
-        WorkloadGenerator gen(keys, opt.seed + 1);
         // Cap delete-heavy streams to the available pool.
         const size_t n_ops =
-            r < 0.5 ? std::min(opt.ops, init * 3 / 4) : opt.ops;
-        const std::vector<Operation> ops = gen.InsertDelete(n_ops, r);
+            d.family == WorkloadDesc::Family::kInsDel && d.update_ratio < 0.5
+                ? std::min(opt.ops, init * 3 / 4)
+                : opt.ops;
+        const std::vector<Operation> ops =
+            MaterializeWorkload(d, keys, opt.seed + 1, n_ops);
         const double mops =
             ReplayThroughputMops(index.get(), ops, report.lat());
         std::printf(" %8.3f", mops);
-        report.AddRow()
-            .Str("dataset", DatasetName(kind))
-            .Str("index", name)
-            .Num("insert_ratio", r)
-            .Num("throughput_mops", mops);
+        JsonReport::Row& row = report.AddRow()
+                                   .Str("dataset", DatasetName(kind))
+                                   .Str("index", name)
+                                   .Str("workload", d.Canonical());
+        if (d.family == WorkloadDesc::Family::kInsDel) {
+          row.Num("insert_ratio", d.update_ratio);
+        }
+        row.Num("throughput_mops", mops);
         std::fflush(stdout);
       }
       std::printf("\n");

@@ -19,9 +19,30 @@ int main(int argc, char** argv) {
   const Options opt = Options::Parse(argc, argv);
   JsonReport report("fig13_batched", opt);
   const size_t init = opt.scale / 5;
-  const size_t pool = opt.scale / 2;
-  const size_t queries = opt.ops / 8;
+  size_t pool = opt.scale / 2;
+  size_t queries = opt.ops / 8;
   size_t swept = 0;
+
+  // This harness is inherently phased; only batched-family workloads
+  // make sense here (pool/queries override the --scale/--ops defaults).
+  const WorkloadDesc workload = ResolveWorkload(opt, "batched");
+  if (workload.family != WorkloadDesc::Family::kBatched) {
+    std::fprintf(stderr,
+                 "ERROR: bench_fig13_batched drives phased batched "
+                 "workloads only; \"%s\" is not batched(...). Use "
+                 "bench_ycsb or the other fig harnesses for single-stream "
+                 "mixes.\n",
+                 workload.Canonical().c_str());
+    return 2;
+  }
+  if (workload.batched_pool > 0) pool = workload.batched_pool;
+  if (workload.batched_queries > 0) queries = workload.batched_queries;
+  {
+    WorkloadDesc resolved = workload;
+    resolved.batched_pool = pool;
+    resolved.batched_queries = queries;
+    report.SetWorkload(resolved.Canonical());
+  }
 
   std::printf("=== Fig. 13: batched-workload latency (ns/op) ===\n");
   std::printf("initialize %zu LOGN keys; pool %zu; %zu queries/phase\n\n",
@@ -45,8 +66,8 @@ int main(int argc, char** argv) {
     }
     ++swept;
     index->BulkLoad(ToKeyValues(keys));
-    WorkloadGenerator gen(keys, opt.seed + 3);
-    const std::vector<WorkloadPhase> phases = gen.Batched(pool, queries);
+    const std::vector<WorkloadPhase> phases =
+        MaterializeWorkloadPhases(workload, keys, opt.seed + 3, pool, queries);
 
     std::printf("%-10s", name.c_str());
     std::printf("  writes:");

@@ -27,6 +27,7 @@
 #include "src/util/timer.h"
 #include "src/workload/driver.h"
 #include "src/workload/workload.h"
+#include "src/workload/workload_spec.h"
 
 // Build provenance baked in by the top-level CMakeLists (configure-time
 // `git rev-parse`; stale across commits without a reconfigure, which CI
@@ -96,6 +97,17 @@ inline std::string CompilerString() {
 ///                  digests, unit heatmaps — one JSONL line per tick) to
 ///                  PATH at exit
 ///   --sample-ms=N  sampler tick period in milliseconds (default 100)
+///   --workload=SPEC
+///                  override the bench's built-in operation mix with a
+///                  workload-grammar spec (src/workload/workload_spec.h):
+///                  e.g. --workload='ycsb-a(zipf=0.99)' or
+///                  --workload='mixed(w=0.2,dist=hotspot(width=5%,period=1M))'.
+///                  Parsed and canonicalized up front (bad specs print
+///                  the workload grammar and exit 2); the canonical spec
+///                  is echoed in the JSON blob. Benches whose sweep
+///                  variable IS the workload (fig09's theta, fig11's
+///                  write ratio, fig12's update ratio) replace their
+///                  whole sweep with the single requested workload.
 ///
 /// Flag plumbing is table-driven (kFlagTable): adding one entry lands
 /// the flag in every harness at once — IsHarnessFlag, Parse, ParseStrip
@@ -115,6 +127,8 @@ struct Options {
   /// Canonicalized adapter stack every swept index is wrapped in
   /// (includes the --shards sugar); "" = plain indexes.
   std::string spec;
+  /// Canonicalized --workload override ("" = the bench's built-in mix).
+  std::string workload;
   std::string json_path;
   std::string trace_path;
   std::string series_path;
@@ -174,6 +188,8 @@ struct Options {
          [](Options& o, const char* v) { o.series_path = v; return true; }},
         {"--spec=",
          [](Options& o, const char* v) { o.spec = v; return true; }},
+        {"--workload=",
+         [](Options& o, const char* v) { o.workload = v; return true; }},
     };
     return kFlagTable;
   }
@@ -198,8 +214,9 @@ struct Options {
           flags += flag.prefix;
           flags += "...";
         }
-        std::printf("%s\n\n%s", flags.c_str(),
-                    IndexSpecGrammarHelp().c_str());
+        std::printf("%s\n\n%s\n%s", flags.c_str(),
+                    IndexSpecGrammarHelp().c_str(),
+                    WorkloadGrammarHelp().c_str());
         std::exit(0);
       }
       for (const FlagDef& flag : FlagTable()) {
@@ -228,6 +245,17 @@ struct Options {
         std::exit(2);
       }
       opt.spec = canonical;
+    }
+    if (!opt.workload.empty()) {
+      WorkloadDesc desc;
+      WorkloadSpecError error;
+      if (!ParseWorkloadSpec(opt.workload, &desc, &error)) {
+        std::fprintf(stderr, "ERROR: bad --workload \"%s\": %s\n%s",
+                     opt.workload.c_str(), error.Render().c_str(),
+                     WorkloadGrammarHelp().c_str());
+        std::exit(2);
+      }
+      opt.workload = desc.Canonical();
     }
     // Resize the global pool up front, before any index construction.
     if (opt.threads > 0) SetGlobalThreads(opt.threads);
@@ -260,6 +288,26 @@ inline std::string ComposeSpec(std::string_view name, const Options& opt) {
 /// "<index>" placeholder leaf (benches sweep many leaves per run).
 inline std::string SpecPattern(const Options& opt) {
   return opt.spec.empty() ? std::string("<index>") : opt.spec + ":<index>";
+}
+
+/// The workload descriptor a bench should drive: the canonical
+/// --workload override when given, otherwise the bench's built-in
+/// default spec. Both paths go through the parser, so a bench's default
+/// is guaranteed expressible in the grammar (and the echoed canonical
+/// spec always reflects what actually ran).
+inline WorkloadDesc ResolveWorkload(const Options& opt,
+                                    std::string_view default_spec) {
+  const std::string_view spec =
+      opt.workload.empty() ? default_spec : std::string_view(opt.workload);
+  WorkloadDesc desc;
+  WorkloadSpecError error;
+  if (!ParseWorkloadSpec(spec, &desc, &error)) {
+    std::fprintf(stderr, "ERROR: bad workload spec \"%.*s\": %s\n%s",
+                 static_cast<int>(spec.size()), spec.data(),
+                 error.Render().c_str(), WorkloadGrammarHelp().c_str());
+    std::exit(2);
+  }
+  return desc;
 }
 
 /// MakeIndex that cannot fail silently: on a bad spec, prints the
@@ -519,6 +567,14 @@ class JsonReport {
                  GlobalPool().num_threads(), opt_.batch, opt_.shards,
                  opt_.rthreads, opt_.wthreads, opt_.sample_ms,
                  JsonEscape(SpecPattern(opt_)).c_str());
+    // Canonical workload spec (set by benches through SetWorkload, or
+    // from --workload): fully self-describing — every default filled in
+    // — so a blob can be reproduced without knowing the harness's
+    // built-in mix.
+    if (!workload_.empty()) {
+      std::fprintf(f, "  \"workload\": \"%s\",\n",
+                   JsonEscape(workload_).c_str());
+    }
     // Build provenance (PR 6): every perf blob is attributable to an
     // exact source revision, compiler, and instrumentation state.
     // simd_kernel (PR 7) records the probe-kernel tier the run actually
@@ -527,11 +583,12 @@ class JsonReport {
     // without it.
     std::fprintf(f,
                  "  \"build\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
-                 "\"build_type\": \"%s\", \"no_stats\": %s, "
+                 "\"build_type\": \"%s\", \"seed\": %llu, \"no_stats\": %s, "
                  "\"simd_kernel\": \"%s\"},\n",
                  JsonEscape(CHAMELEON_GIT_SHA).c_str(),
                  JsonEscape(CompilerString()).c_str(),
                  JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
+                 static_cast<unsigned long long>(opt_.seed),
 #ifdef CHAMELEON_NO_STATS
                  "true",
 #else
@@ -618,9 +675,17 @@ class JsonReport {
   /// embed series-derived rows if they want to.
   obs::MetricsSampler* sampler() { return sampler_.get(); }
 
+  /// Records the canonical workload spec this run actually drove (the
+  /// blob echoes it as "workload"). Benches call this with
+  /// ResolveWorkload(...).Canonical(); sweep benches that run many
+  /// workloads per blob set the sweep's template instead and put the
+  /// per-row canonical spec in each row.
+  void SetWorkload(std::string canonical) { workload_ = std::move(canonical); }
+
  private:
   std::string bench_;
   Options opt_;
+  std::string workload_;
   obs::LatencyHistogram lat_;
   std::vector<Row> rows_;
   std::unique_ptr<obs::MetricsSampler> sampler_;

@@ -1,0 +1,198 @@
+// YCSB scenario harness: the standard core mixes A-F (plus any
+// workload-grammar spec via --workload) against the index suite, in
+// closed-loop replay or open-loop fixed-arrival-rate mode.
+//
+// This is the scenario-engine complement to the paper-figure harnesses:
+// fig08-fig13 reproduce the paper's plots, bench_ycsb answers "how does
+// the stack behave under the community-standard mixes" — including
+// latency under a target arrival rate, measured coordinated-omission-
+// safe (see src/workload/driver.h, RunOpenLoop).
+//
+// Local flags on top of the shared set (see bench_util.h):
+//   --mixes=a,b,..  which YCSB mixes to sweep (default a-f); ignored
+//                   when --workload pins a single spec
+//   --index=NAME    restrict the index sweep to one (composed) spec
+//   --rate=R        open-loop mode: target arrival rate in ops/sec
+//                   (0 = closed-loop replay, the default). Open-loop
+//                   runs are single-dispatcher by design (1-core
+//                   parity, ROADMAP): latency percentiles are the
+//                   point, not peak throughput.
+//
+// JSON rows carry the canonical workload spec per row, so every number
+// in the blob is reproducible from the blob alone (spec + seed +
+// scale/ops are all echoed).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace chameleon;
+using namespace chameleon::bench;
+
+namespace {
+
+/// One open-loop run: stream ops straight from the source at the target
+/// rate (no materialized vector) and report CO-safe latency.
+void RunOpenLoopPoint(KvIndex* index, const WorkloadDesc& desc,
+                      std::span<const Key> keys, const Options& opt,
+                      double rate, JsonReport& report,
+                      const std::string& name) {
+  WorkloadGenerator gen(keys, opt.seed + 1);
+  std::unique_ptr<OpSource> source = MakeOpSource(desc, gen, keys);
+  OpenLoopOptions olo;
+  olo.rate_ops_per_sec = rate;
+  olo.warmup = opt.warmup;
+  const OpenLoopResult res = RunOpenLoop(index, *source, opt.ops, olo);
+
+  std::printf(
+      "%-10s %-34s rate %9.0f/s achieved %9.0f/s  p50 %8.0f ns  "
+      "p99 %10.0f ns  max-backlog %zu\n",
+      name.c_str(), desc.Canonical().c_str(), res.target_rate,
+      res.AchievedRate(), res.latency.PercentileNanos(50),
+      res.latency.PercentileNanos(99), res.max_backlog);
+
+  JsonReport::Row& row = report.AddRow()
+                             .Str("index", name)
+                             .Str("workload", desc.Canonical())
+                             .Str("mode", "open-loop")
+                             .Num("target_rate", res.target_rate)
+                             .Num("achieved_rate", res.AchievedRate())
+                             .Num("ops", static_cast<double>(res.ops))
+                             .Num("misses", static_cast<double>(res.misses))
+                             .Num("max_backlog",
+                                  static_cast<double>(res.max_backlog))
+                             .Num("max_lag_ns",
+                                  static_cast<double>(res.max_lag_ns))
+                             .Num("lat_p50_ns", res.latency.PercentileNanos(50))
+                             .Num("lat_p99_ns", res.latency.PercentileNanos(99))
+                             .Num("lat_p999_ns",
+                                  res.latency.PercentileNanos(99.9))
+                             .Num("service_p50_ns",
+                                  res.service.PercentileNanos(50))
+                             .Num("service_p99_ns",
+                                  res.service.PercentileNanos(99));
+  for (size_t t = 0; t < kNumOpTypes; ++t) {
+    const obs::LatencyHistogram& h = res.latency_by_type[t];
+    if (h.count() == 0) continue;
+    const std::string prefix(OpTypeName(static_cast<OpType>(t)));
+    row.Num(prefix + "_count", static_cast<double>(h.count()))
+        .Num(prefix + "_p50_ns", h.PercentileNanos(50))
+        .Num(prefix + "_p99_ns", h.PercentileNanos(99));
+  }
+  // Fold the CO-safe samples into the blob's headline histogram too.
+  report.histogram().Merge(res.latency);
+}
+
+/// One closed-loop run: materialize the stream, replay through the
+/// shared driver (same path as the fig harnesses).
+void RunClosedLoopPoint(KvIndex* index, const WorkloadDesc& desc,
+                        std::span<const Key> keys, const Options& opt,
+                        JsonReport& report, const std::string& name) {
+  const std::vector<Operation> ops =
+      MaterializeWorkload(desc, keys, opt.seed + 1, opt.ops);
+  const ReplayResult res =
+      Replay(index, ops,
+             desc.has_writes() ? WriteReplayOptions(opt)
+                               : ReadReplayOptions(opt),
+             report.lat());
+  std::printf("%-10s %-34s %10.3f Mops/s  mean %8.1f ns  (%zu ops)\n",
+              name.c_str(), desc.Canonical().c_str(), res.ThroughputMops(),
+              res.MeanNs(), res.ops);
+  report.AddRow()
+      .Str("index", name)
+      .Str("workload", desc.Canonical())
+      .Str("mode", "closed-loop")
+      .Num("ops", static_cast<double>(res.ops))
+      .Num("misses", static_cast<double>(res.misses))
+      .Num("mean_ns", res.MeanNs())
+      .Num("throughput_mops", res.ThroughputMops());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::string mixes = "a,b,c,d,e,f";
+  std::string only_index;
+  double rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mixes=", 8) == 0) mixes = argv[i] + 8;
+    if (std::strncmp(argv[i], "--index=", 8) == 0) only_index = argv[i] + 8;
+    if (std::strncmp(argv[i], "--rate=", 7) == 0) rate = std::atof(argv[i] + 7);
+  }
+
+  JsonReport report("ycsb", opt);
+
+  // The workload list: one pinned spec, or "ycsb-<m>" per --mixes entry
+  // (each parsed through the same grammar path as --workload, so the
+  // canonical echo covers built-in sweeps too).
+  std::vector<WorkloadDesc> workloads;
+  if (!opt.workload.empty()) {
+    workloads.push_back(ResolveWorkload(opt, "ycsb-a"));
+    report.SetWorkload(workloads[0].Canonical());
+  } else {
+    for (char m : mixes) {
+      if (m == ',' || m == ' ') continue;
+      if (m < 'a' || m > 'f') {
+        std::fprintf(stderr, "ERROR: bad --mixes entry '%c' (a..f)\n%s", m,
+                     WorkloadGrammarHelp().c_str());
+        return 2;
+      }
+      workloads.push_back(
+          ResolveWorkload(opt, std::string("ycsb-") + m));
+    }
+  }
+
+  // Index sweep: one pinned spec, or every updatable index (mix C is
+  // read-only but the sweep stays uniform so columns are comparable).
+  std::vector<std::string> names;
+  if (!only_index.empty()) {
+    MakeIndexOrDie(ComposeSpec(only_index, opt));  // fail loudly up front
+    names.push_back(only_index);
+  } else {
+    names = UpdatableIndexNames();
+  }
+
+  const std::vector<Key> keys =
+      GenerateDataset(DatasetKind::kOsmc, opt.scale, opt.seed);
+  const std::vector<KeyValue> data = ToKeyValues(keys);
+
+  std::printf("=== YCSB core mixes: %zu OSMC keys, %zu ops/point%s ===\n",
+              keys.size(), opt.ops,
+              rate > 0.0 ? " (open-loop)" : " (closed-loop)");
+  size_t swept = 0;
+  for (const WorkloadDesc& desc : workloads) {
+    for (const std::string& name : names) {
+      std::unique_ptr<KvIndex> index = MakeBenchIndex(name, opt);
+      // Same capability gate as fig11: multi-threaded write-bearing
+      // replays only against stacks that can take concurrent writers.
+      if (desc.has_writes() && LacksConcurrentWrites(*index, opt)) {
+        std::printf("%-10s %-34s [skipped: no concurrent-write support]\n",
+                    name.c_str(), desc.Canonical().c_str());
+        continue;
+      }
+      ++swept;
+      index->BulkLoad(data);
+      if (rate > 0.0) {
+        RunOpenLoopPoint(index.get(), desc, keys, opt, rate, report, name);
+      } else {
+        RunClosedLoopPoint(index.get(), desc, keys, opt, report, name);
+      }
+      std::fflush(stdout);
+    }
+  }
+  if (swept == 0) {
+    std::fprintf(stderr,
+                 "ERROR: bench_ycsb: no swept index supports concurrent "
+                 "writes under --spec \"%s\" with %zu write threads "
+                 "requested; nothing was measured\n",
+                 opt.spec.c_str(), WriteThreads(opt));
+    return 2;
+  }
+  report.Write();
+  return 0;
+}

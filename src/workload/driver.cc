@@ -1,6 +1,7 @@
 #include "src/workload/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -18,28 +19,47 @@ struct ChunkResult {
   int64_t busy_ns = 0;
 };
 
+/// Executes one operation; returns true on a miss. `scan_buf` is the
+/// caller's reusable RangeScan output buffer. kUpdate is erase +
+/// reinsert of the same key (KvIndex has no in-place update): both
+/// halves always run, so a missed erase still leaves the key present
+/// afterwards and the stream's validity invariant holds.
+bool ExecuteOp(KvIndex* index, const Operation& op,
+               std::vector<KeyValue>* scan_buf) {
+  switch (op.type) {
+    case OpType::kLookup: {
+      Value v;
+      return !index->Lookup(op.key, &v);
+    }
+    case OpType::kInsert:
+      return !index->Insert(op.key, op.value);
+    case OpType::kErase:
+      return !index->Erase(op.key);
+    case OpType::kUpdate: {
+      const bool erased = index->Erase(op.key);
+      const bool inserted = index->Insert(op.key, op.value);
+      return !erased || !inserted;
+    }
+    case OpType::kScan:
+      scan_buf->clear();
+      return index->RangeScan(op.key, static_cast<Key>(op.value), scan_buf) ==
+             0;
+  }
+  return true;
+}
+
 /// The per-key replay kernel — the loop bench_util's ReplayMeanNs ran
 /// for every harness before the driver existed; kept op-for-op
-/// identical so R = 1 numbers stay comparable across PRs.
+/// identical for the legacy op types so R = 1 numbers stay comparable
+/// across PRs.
 ChunkResult ReplayChunk(KvIndex* index, std::span<const Operation> ops,
                         obs::LatencyHistogram* hist) {
   ChunkResult result;
   Timer timer;
+  std::vector<KeyValue> scan_buf;
   for (const Operation& op : ops) {
     if (hist != nullptr) timer.Reset();
-    switch (op.type) {
-      case OpType::kLookup: {
-        Value v;
-        result.misses += !index->Lookup(op.key, &v);
-        break;
-      }
-      case OpType::kInsert:
-        result.misses += !index->Insert(op.key, op.value);
-        break;
-      case OpType::kErase:
-        result.misses += !index->Erase(op.key);
-        break;
-    }
+    result.misses += ExecuteOp(index, op, &scan_buf);
     if (hist != nullptr) {
       const int64_t ns = timer.ElapsedNanos();
       hist->Record(ns);
@@ -63,15 +83,12 @@ ChunkResult ReplayChunkBatched(KvIndex* index, std::span<const Operation> ops,
   std::vector<Key> keys(batch);
   std::vector<Value> values(batch);
   std::unique_ptr<bool[]> found(new bool[batch]);
+  std::vector<KeyValue> scan_buf;
   size_t i = 0;
   while (i < ops.size()) {
     if (ops[i].type != OpType::kLookup) {
       if (hist != nullptr) timer.Reset();
-      if (ops[i].type == OpType::kInsert) {
-        result.misses += !index->Insert(ops[i].key, ops[i].value);
-      } else {
-        result.misses += !index->Erase(ops[i].key);
-      }
+      result.misses += ExecuteOp(index, ops[i], &scan_buf);
       if (hist != nullptr) {
         const int64_t ns = timer.ElapsedNanos();
         hist->Record(ns);
@@ -143,7 +160,7 @@ ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
   const bool has_writes =
       threads > 1 &&
       std::any_of(measured.begin(), measured.end(), [](const Operation& op) {
-        return op.type != OpType::kLookup;
+        return IsWriteOp(op.type);  // kScan is a read: chunked like lookups
       });
   // Mixed/write streams need multi-writer support from the stack. Fall
   // back to a safe (and honestly labeled: the result says what actually
@@ -217,6 +234,90 @@ ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
                  index->Name().data());
   }
   return result;
+}
+
+namespace {
+
+/// Waits until the steady clock reaches `deadline_ns`. Coarse sleep to
+/// within ~100us, then spin — keeps the dispatcher's arrival jitter
+/// well under typical inter-arrival gaps without burning a core during
+/// long waits.
+void WaitUntilNanos(int64_t deadline_ns) {
+  constexpr int64_t kSpinSlackNs = 100'000;
+  int64_t now = NowNanos();
+  if (deadline_ns - now > kSpinSlackNs) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(deadline_ns - now - kSpinSlackNs));
+  }
+  while (NowNanos() < deadline_ns) {
+  }
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(KvIndex* index, OpSource& source, size_t max_ops,
+                           const OpenLoopOptions& options) {
+  obs::ScopedHeatmapSource heat_scope(
+      [index] { return index->HeatmapSnapshot(); });
+  obs::ScopedContentionSource contention_scope(
+      [index] { return index->WriteContentionSnapshot(); });
+
+  OpenLoopResult result;
+  result.target_rate = std::max(options.rate_ops_per_sec, 1.0);
+  const double interval_ns = 1e9 / result.target_rate;
+
+  Operation op;
+  std::vector<KeyValue> scan_buf;
+  for (size_t i = 0; i < options.warmup; ++i) {
+    if (!source.Next(&op)) return result;
+    ExecuteOp(index, op, &scan_buf);
+  }
+
+  const int64_t t0 = NowNanos();
+  size_t i = 0;
+  int64_t last_completion = t0;
+  for (; i < max_ops; ++i) {
+    if (!source.Next(&op)) break;
+    // Arrival i is *scheduled* at t0 + i/rate. If the previous op ran
+    // long we are already past the intended time: dispatch immediately
+    // and let the sample carry the queueing delay (the CO-safe part —
+    // a closed-loop harness would instead silently postpone the
+    // arrival and never record the wait).
+    const int64_t intended =
+        t0 + static_cast<int64_t>(static_cast<double>(i) * interval_ns);
+    if (intended > last_completion) WaitUntilNanos(intended);
+    const int64_t start = NowNanos();
+    const bool miss = ExecuteOp(index, op, &scan_buf);
+    const int64_t end = NowNanos();
+    last_completion = end;
+
+    const int64_t lag = end - intended;
+    result.misses += miss;
+    result.latency.Record(lag);
+    result.latency_by_type[static_cast<size_t>(op.type)].Record(lag);
+    result.service.Record(end - start);
+    if (lag > result.max_lag_ns) result.max_lag_ns = lag;
+    // Backlog at completion: arrivals scheduled in [intended, end] that
+    // are necessarily still queued behind this op (this one included).
+    const size_t backlog =
+        1 + static_cast<size_t>(static_cast<double>(lag > 0 ? lag : 0) /
+                                interval_ns);
+    if (backlog > result.max_backlog) result.max_backlog = backlog;
+  }
+  result.ops = i;
+  result.wall_ns = NowNanos() - t0;
+  if (result.misses > 0) {
+    std::fprintf(stderr, "WARNING: %zu missed operations on %.*s\n",
+                 result.misses, static_cast<int>(index->Name().size()),
+                 index->Name().data());
+  }
+  return result;
+}
+
+OpenLoopResult RunOpenLoop(KvIndex* index, std::span<const Operation> ops,
+                           const OpenLoopOptions& options) {
+  SpanSource source(ops);
+  return RunOpenLoop(index, source, ops.size(), options);
 }
 
 }  // namespace chameleon

@@ -70,7 +70,11 @@ struct ReplayResult {
 /// threads and returns the merged result. Lookups of absent keys,
 /// duplicate inserts, and erases of absent keys count as misses (a
 /// warning is printed when any occur — the workload generators emit
-/// only valid streams, so misses indicate a broken index).
+/// only valid streams, so misses indicate a broken index). kUpdate
+/// executes as erase + reinsert of the same key (KvIndex has no
+/// in-place update), timed as one operation and missing if either half
+/// fails; kScan runs RangeScan(key, Key(value)) and misses when the
+/// range comes back empty.
 ///
 /// With `hist` non-null every operation is timed individually into the
 /// histogram (per-batch for batched lookups, attributing the mean to
@@ -82,6 +86,68 @@ struct ReplayResult {
 ReplayResult Replay(KvIndex* index, std::span<const Operation> ops,
                     const ReplayOptions& options,
                     obs::LatencyHistogram* hist = nullptr);
+
+/// Options for the open-loop (fixed arrival rate) driver.
+struct OpenLoopOptions {
+  /// Target arrival rate in operations per second. Arrival i is
+  /// *scheduled* at t0 + i/rate regardless of how the index keeps up;
+  /// values < 1 clamp to 1.
+  double rate_ops_per_sec = 100'000.0;
+  /// Leading operations executed closed-loop before the pacing clock
+  /// starts: applied to the index, excluded from all accounting.
+  size_t warmup = 0;
+};
+
+/// Result of one open-loop run. The headline `latency` histogram is
+/// coordinated-omission-safe: each sample is completion_time −
+/// *intended* arrival time (t0 + i/rate), never completion − start. A
+/// stalled index therefore charges its stall to every operation that
+/// was scheduled to arrive during the stall — the queueing delay a
+/// real open-loop client would observe — instead of silently thinning
+/// the sample stream the way a closed-loop (or start-time-measured)
+/// harness does.
+struct OpenLoopResult {
+  size_t ops = 0;
+  size_t misses = 0;
+  int64_t wall_ns = 0;
+  double target_rate = 0.0;  // ops/sec requested
+  /// Deepest arrival backlog observed: max over ops of how many
+  /// scheduled arrivals (including this one) were still unserved at its
+  /// completion. 1 = the driver kept up perfectly.
+  size_t max_backlog = 1;
+  /// Max of completion − intended arrival, i.e. the worst queueing +
+  /// service delay in the run.
+  int64_t max_lag_ns = 0;
+
+  /// Completion − intended arrival, all ops (the CO-safe headline).
+  obs::LatencyHistogram latency;
+  /// Completion − intended arrival, split per op type.
+  obs::LatencyHistogram latency_by_type[kNumOpTypes];
+  /// Completion − dispatch (pure service time, for comparison; always
+  /// <= the recorded latency of the same op).
+  obs::LatencyHistogram service;
+
+  double AchievedRate() const {
+    return wall_ns > 0 ? static_cast<double>(ops) * 1e9 /
+                             static_cast<double>(wall_ns)
+                       : 0.0;
+  }
+};
+
+/// Runs up to `max_ops` operations pulled from `source` against `index`
+/// on one dispatcher thread at the target arrival rate. Ops are
+/// generated at dispatch time (no materialized stream), executed with
+/// the same per-op semantics as Replay. Single-dispatcher is a
+/// deliberate parity constraint (ROADMAP: 1-core comparisons): when the
+/// index is slower than the arrival interval the backlog grows and the
+/// CO-safe histogram shows it.
+OpenLoopResult RunOpenLoop(KvIndex* index, OpSource& source, size_t max_ops,
+                           const OpenLoopOptions& options);
+
+/// Span convenience wrapper (benches that already materialized a
+/// stream).
+OpenLoopResult RunOpenLoop(KvIndex* index, std::span<const Operation> ops,
+                           const OpenLoopOptions& options);
 
 }  // namespace chameleon
 

@@ -1,0 +1,54 @@
+#include "src/workload/live_key_set.h"
+
+namespace chameleon {
+
+LiveKeySet::LiveKeySet(std::span<const Key> loaded)
+    : present_(loaded.begin(), loaded.end()) {
+  pos_.reserve(present_.size() * 2);
+  for (size_t i = 0; i < present_.size(); ++i) pos_[present_[i]] = i;
+}
+
+Key LiveKeySet::RemoveAt(size_t rank) {
+  const Key k = present_[rank];
+  const Key moved = present_.back();
+  present_[rank] = moved;
+  present_.pop_back();
+  pos_.erase(k);
+  if (rank < present_.size()) pos_[moved] = rank;
+  return k;
+}
+
+bool LiveKeySet::RemoveKey(Key k) {
+  const auto it = pos_.find(k);
+  if (it == pos_.end()) return false;
+  RemoveAt(it->second);
+  return true;
+}
+
+Key LiveKeySet::InsertFresh(Rng& rng) {
+  Key chosen;
+  bool found = false;
+  for (int attempt = 0; attempt < 64 && !found; ++attempt) {
+    Key base = present_.empty()
+                   ? rng.Next() >> 16
+                   : present_[rng.NextBounded(present_.size())];
+    const Key candidate = base + 1 + rng.NextBounded(1u << 16);
+    if (!pos_.contains(candidate)) {
+      chosen = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Dense neighborhood: fall back to probing upward from a random
+    // word. Keep fresh keys below 2^52 so every index's double-based
+    // models stay exact.
+    Key candidate = rng.Next() >> 12;
+    while (pos_.contains(candidate)) ++candidate;
+    chosen = candidate;
+  }
+  pos_[chosen] = present_.size();
+  present_.push_back(chosen);
+  return chosen;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,75 @@
+#ifndef CHAMELEON_WORKLOAD_OP_H_
+#define CHAMELEON_WORKLOAD_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace chameleon {
+
+/// One operation in a generated workload stream.
+///
+/// The original three types map 1:1 onto KvIndex calls. The YCSB layer
+/// added two more:
+///  * kUpdate replaces the payload of a *present* key. KvIndex has no
+///    in-place update (keys are unique, Insert of a present key fails),
+///    so the driver executes it as Erase followed by Insert of the same
+///    key — one timed operation, a miss if either half fails.
+///  * kScan is a bounded range scan: `key` is the inclusive lower bound
+///    and `value` carries the inclusive upper *key* (not a count), so
+///    the stream stays self-contained and the driver needs no rank
+///    bookkeeping. A scan returning zero pairs counts as a miss.
+enum class OpType : uint8_t {
+  kLookup,
+  kInsert,
+  kErase,
+  kUpdate,
+  kScan,
+};
+
+/// Number of OpType values (per-op-type histogram arrays index by
+/// static_cast<size_t>(type)).
+inline constexpr size_t kNumOpTypes = 5;
+
+struct Operation {
+  OpType type;
+  Key key;
+  Value value;
+};
+
+/// True for operations that mutate the index. kScan is a read; the
+/// driver's thread-partitioning decisions key off this, not off
+/// `type != kLookup`.
+inline bool IsWriteOp(OpType type) {
+  return type == OpType::kInsert || type == OpType::kErase ||
+         type == OpType::kUpdate;
+}
+
+inline std::string_view OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kLookup: return "lookup";
+    case OpType::kInsert: return "insert";
+    case OpType::kErase: return "erase";
+    case OpType::kUpdate: return "update";
+    case OpType::kScan: return "scan";
+  }
+  return "unknown";
+}
+
+/// Payload convention shared with ToKeyValues() in src/data/dataset.cc
+/// so replay harnesses can validate looked-up payloads.
+inline Value PayloadFor(Key k) { return k * 0x9E3779B97F4A7C15ULL + 1; }
+
+/// A named phase of operations (Fig. 13's batched workloads run several
+/// phases back to back and report per-phase latency).
+struct WorkloadPhase {
+  std::string name;
+  std::vector<Operation> ops;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_WORKLOAD_OP_H_

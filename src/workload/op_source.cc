@@ -1,0 +1,136 @@
+#include "src/workload/op_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chameleon {
+
+std::vector<Operation> Drain(OpSource& source, size_t max_ops) {
+  std::vector<Operation> ops;
+  ops.reserve(max_ops);
+  Operation op;
+  while (ops.size() < max_ops && source.Next(&op)) ops.push_back(op);
+  return ops;
+}
+
+bool ReadSource::Next(Operation* op) {
+  if (live_->empty()) return false;
+  const size_t rank = chooser_->NextRank(live_->size(), *rng_);
+  *op = {OpType::kLookup, live_->KeyAt(rank), 0};
+  return true;
+}
+
+PaperMixedSource::PaperMixedSource(LiveKeySet* live, Rng* rng,
+                                   double write_ratio,
+                                   std::unique_ptr<KeyChooser> chooser)
+    : live_(live), rng_(rng), chooser_(std::move(chooser)) {
+  writes_per_cycle_ = static_cast<int>(
+      std::lround(std::clamp(write_ratio, 0.0, 1.0) * 10.0));
+  reads_per_cycle_ = 10 - writes_per_cycle_;
+}
+
+bool PaperMixedSource::Next(Operation* op) {
+  if (reads_per_cycle_ == 0 && writes_per_cycle_ == 0) return false;
+  while (true) {
+    if (slot_ >= reads_per_cycle_ + writes_per_cycle_) slot_ = 0;
+    if (slot_ < reads_per_cycle_) {
+      if (live_->empty()) {
+        // The original generator abandoned the rest of the cycle's
+        // reads when the live set emptied; with no writes to refill it
+        // the stream is over.
+        if (writes_per_cycle_ == 0) return false;
+        slot_ = reads_per_cycle_;
+        continue;
+      }
+      ++slot_;
+      const size_t rank = chooser_->NextRank(live_->size(), *rng_);
+      *op = {OpType::kLookup, live_->KeyAt(rank), 0};
+      return true;
+    }
+    // Paper interleaving: writes alternate insert / delete so the live
+    // set stays near its initial size.
+    const int i = slot_ - reads_per_cycle_;
+    ++slot_;
+    if (i % 2 == 0 || live_->empty()) {
+      const Key k = live_->InsertFresh(*rng_);
+      *op = {OpType::kInsert, k, PayloadFor(k)};
+    } else {
+      const size_t rank = rng_->NextBounded(live_->size());
+      *op = {OpType::kErase, live_->RemoveAt(rank), 0};
+    }
+    return true;
+  }
+}
+
+InsertDeleteSource::InsertDeleteSource(LiveKeySet* live, Rng* rng,
+                                       double update_ratio)
+    : live_(live), rng_(rng), u_(std::clamp(update_ratio, 0.0, 1.0)) {}
+
+bool InsertDeleteSource::Next(Operation* op) {
+  const bool do_insert = rng_->NextBernoulli(u_);
+  if (do_insert || live_->empty()) {
+    const Key k = live_->InsertFresh(*rng_);
+    *op = {OpType::kInsert, k, PayloadFor(k)};
+  } else {
+    const size_t rank = rng_->NextBounded(live_->size());
+    *op = {OpType::kErase, live_->RemoveAt(rank), 0};
+  }
+  return true;
+}
+
+YcsbSource::YcsbSource(LiveKeySet* live, Rng* rng, const YcsbMix& mix,
+                       std::unique_ptr<KeyChooser> chooser, size_t scan_max,
+                       std::span<const Key> loaded)
+    : live_(live),
+      rng_(rng),
+      mix_(mix),
+      chooser_(std::move(chooser)),
+      scan_max_(scan_max == 0 ? 1 : scan_max),
+      scan_keys_(loaded.begin(), loaded.end()) {}
+
+bool YcsbSource::Next(Operation* op) {
+  if (pending_.has_value()) {
+    *op = *pending_;
+    pending_.reset();
+    return true;
+  }
+  if (live_->empty()) return false;
+  const double p = rng_->NextDouble();
+  double acc = mix_.read;
+  if (p < acc) {
+    const size_t rank = chooser_->NextRank(live_->size(), *rng_);
+    *op = {OpType::kLookup, live_->KeyAt(rank), 0};
+    return true;
+  }
+  acc += mix_.update;
+  if (p < acc) {
+    const size_t rank = chooser_->NextRank(live_->size(), *rng_);
+    const Key k = live_->KeyAt(rank);
+    *op = {OpType::kUpdate, k, PayloadFor(k)};
+    return true;
+  }
+  acc += mix_.insert;
+  if (p < acc) {
+    const Key k = live_->InsertFresh(*rng_);
+    *op = {OpType::kInsert, k, PayloadFor(k)};
+    return true;
+  }
+  acc += mix_.scan;
+  if (p < acc && !scan_keys_.empty()) {
+    const size_t rank = chooser_->NextRank(scan_keys_.size(), *rng_);
+    const size_t len = 1 + rng_->NextBounded(scan_max_);
+    const size_t hi_rank = std::min(rank + len, scan_keys_.size() - 1);
+    *op = {OpType::kScan, scan_keys_[rank],
+           static_cast<Value>(scan_keys_[hi_rank])};
+    return true;
+  }
+  // Read-modify-write: the read goes out now, the write of the same key
+  // on the next pull.
+  const size_t rank = chooser_->NextRank(live_->size(), *rng_);
+  const Key k = live_->KeyAt(rank);
+  pending_ = Operation{OpType::kUpdate, k, PayloadFor(k)};
+  *op = {OpType::kLookup, k, 0};
+  return true;
+}
+
+}  // namespace chameleon

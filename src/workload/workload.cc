@@ -1,127 +1,41 @@
 #include "src/workload/workload.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstddef>
+#include <memory>
+#include <utility>
 
 namespace chameleon {
-namespace {
-
-// Payload convention matches ToKeyValues() in src/data/dataset.cc so
-// replay harnesses can validate looked-up payloads.
-Value PayloadFor(Key k) { return k * 0x9E3779B97F4A7C15ULL + 1; }
-
-}  // namespace
 
 WorkloadGenerator::WorkloadGenerator(std::span<const Key> loaded,
                                      uint64_t seed)
-    : present_(loaded.begin(), loaded.end()), rng_(seed) {
-  pos_.reserve(present_.size() * 2);
-  for (size_t i = 0; i < present_.size(); ++i) pos_[present_[i]] = i;
-}
-
-void WorkloadGenerator::RemovePresentAt(size_t idx) {
-  const Key k = present_[idx];
-  const Key moved = present_.back();
-  present_[idx] = moved;
-  present_.pop_back();
-  pos_.erase(k);
-  if (idx < present_.size()) pos_[moved] = idx;
-}
-
-Operation WorkloadGenerator::MakeLookup() {
-  const size_t idx = rng_.NextBounded(present_.size());
-  return {OpType::kLookup, present_[idx], 0};
-}
-
-Key WorkloadGenerator::FreshKey() {
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    Key base = present_.empty()
-                   ? rng_.Next() >> 16
-                   : present_[rng_.NextBounded(present_.size())];
-    const Key candidate = base + 1 + rng_.NextBounded(1u << 16);
-    if (!pos_.contains(candidate)) return candidate;
-  }
-  // Dense neighborhood: fall back to probing upward from a random word.
-  // Keep fresh keys below 2^52 so every index's double-based models stay
-  // exact.
-  Key candidate = rng_.Next() >> 12;
-  while (pos_.contains(candidate)) ++candidate;
-  return candidate;
-}
-
-Operation WorkloadGenerator::MakeInsert() {
-  const Key k = FreshKey();
-  pos_[k] = present_.size();
-  present_.push_back(k);
-  return {OpType::kInsert, k, PayloadFor(k)};
-}
-
-Operation WorkloadGenerator::MakeErase() {
-  const size_t idx = rng_.NextBounded(present_.size());
-  const Key k = present_[idx];
-  RemovePresentAt(idx);
-  return {OpType::kErase, k, 0};
-}
+    : live_(loaded), rng_(seed) {}
 
 std::vector<Operation> WorkloadGenerator::ReadOnly(size_t num_ops,
                                                    double zipf_theta) {
-  std::vector<Operation> ops;
-  ops.reserve(num_ops);
-  if (present_.empty()) return ops;
+  if (live_.empty()) return {};
+  std::unique_ptr<KeyChooser> chooser;
   if (zipf_theta <= 0.0) {
-    for (size_t i = 0; i < num_ops; ++i) ops.push_back(MakeLookup());
+    chooser = std::make_unique<UniformChooser>();
   } else {
-    ZipfSampler zipf(present_.size(), zipf_theta, rng_.Next());
-    for (size_t i = 0; i < num_ops; ++i) {
-      ops.push_back({OpType::kLookup, present_[zipf.Sample()], 0});
-    }
+    // Seed draw order matches the original loop: one rng word for the
+    // sampler, taken before any sampling.
+    chooser =
+        std::make_unique<ZipfChooser>(live_.size(), zipf_theta, rng_.Next());
   }
-  return ops;
+  ReadSource source(&live_, &rng_, std::move(chooser));
+  return Drain(source, num_ops);
 }
 
 std::vector<Operation> WorkloadGenerator::MixedReadWrite(size_t num_ops,
                                                          double write_ratio) {
-  std::vector<Operation> ops;
-  ops.reserve(num_ops);
-  const int writes_per_cycle = static_cast<int>(
-      std::lround(std::clamp(write_ratio, 0.0, 1.0) * 10.0));
-  const int reads_per_cycle = 10 - writes_per_cycle;
-  while (ops.size() < num_ops) {
-    for (int i = 0; i < reads_per_cycle && ops.size() < num_ops; ++i) {
-      if (present_.empty()) break;
-      ops.push_back(MakeLookup());
-    }
-    // Paper interleaving: writes alternate insert / delete so the live
-    // set stays near its initial size.
-    for (int i = 0; i < writes_per_cycle && ops.size() < num_ops; ++i) {
-      if (i % 2 == 0) {
-        ops.push_back(MakeInsert());
-      } else if (!present_.empty()) {
-        ops.push_back(MakeErase());
-      } else {
-        ops.push_back(MakeInsert());
-      }
-    }
-    if (reads_per_cycle == 0 && writes_per_cycle == 0) break;
-  }
-  return ops;
+  PaperMixedSource source(&live_, &rng_, write_ratio,
+                          std::make_unique<UniformChooser>());
+  return Drain(source, num_ops);
 }
 
 std::vector<Operation> WorkloadGenerator::InsertDelete(size_t num_ops,
                                                        double update_ratio) {
-  std::vector<Operation> ops;
-  ops.reserve(num_ops);
-  const double u = std::clamp(update_ratio, 0.0, 1.0);
-  for (size_t i = 0; i < num_ops; ++i) {
-    const bool do_insert = rng_.NextBernoulli(u);
-    if (do_insert || present_.empty()) {
-      ops.push_back(MakeInsert());
-    } else {
-      ops.push_back(MakeErase());
-    }
-  }
-  return ops;
+  InsertDeleteSource source(&live_, &rng_, update_ratio);
+  return Drain(source, num_ops);
 }
 
 std::vector<WorkloadPhase> WorkloadGenerator::Batched(
@@ -135,15 +49,18 @@ std::vector<WorkloadPhase> WorkloadGenerator::Batched(
     WorkloadPhase ins;
     ins.name = "insert_q" + std::to_string(batch + 1);
     for (size_t i = 0; i < quarter; ++i) {
-      Operation op = MakeInsert();
-      inserted.push_back(op.key);
-      ins.ops.push_back(op);
+      const Key k = live_.InsertFresh(rng_);
+      inserted.push_back(k);
+      ins.ops.push_back({OpType::kInsert, k, PayloadFor(k)});
     }
     phases.push_back(std::move(ins));
 
     WorkloadPhase q;
     q.name = "query_after_insert_q" + std::to_string(batch + 1);
-    for (size_t i = 0; i < queries_per_phase; ++i) q.ops.push_back(MakeLookup());
+    for (size_t i = 0; i < queries_per_phase; ++i) {
+      const size_t rank = rng_.NextBounded(live_.size());
+      q.ops.push_back({OpType::kLookup, live_.KeyAt(rank), 0});
+    }
     phases.push_back(std::move(q));
   }
 
@@ -156,9 +73,7 @@ std::vector<WorkloadPhase> WorkloadGenerator::Batched(
       inserted[idx] = inserted.back();
       inserted.pop_back();
       // Erase from the live set too.
-      auto it = pos_.find(k);
-      if (it != pos_.end()) {
-        RemovePresentAt(it->second);
+      if (live_.RemoveKey(k)) {
         del.ops.push_back({OpType::kErase, k, 0});
       }
     }
@@ -166,7 +81,10 @@ std::vector<WorkloadPhase> WorkloadGenerator::Batched(
 
     WorkloadPhase q;
     q.name = "query_after_delete_q" + std::to_string(batch + 1);
-    for (size_t i = 0; i < queries_per_phase; ++i) q.ops.push_back(MakeLookup());
+    for (size_t i = 0; i < queries_per_phase; ++i) {
+      const size_t rank = rng_.NextBounded(live_.size());
+      q.ops.push_back({OpType::kLookup, live_.KeyAt(rank), 0});
+    }
     phases.push_back(std::move(q));
   }
   return phases;

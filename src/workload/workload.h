@@ -4,33 +4,15 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/util/common.h"
 #include "src/util/random.h"
+#include "src/workload/live_key_set.h"
+#include "src/workload/op.h"
+#include "src/workload/op_source.h"
 
 namespace chameleon {
-
-/// One operation in a generated workload stream.
-enum class OpType : uint8_t {
-  kLookup,
-  kInsert,
-  kErase,
-};
-
-struct Operation {
-  OpType type;
-  Key key;
-  Value value;
-};
-
-/// A named phase of operations (Fig. 13's batched workloads run several
-/// phases back to back and report per-phase latency).
-struct WorkloadPhase {
-  std::string name;
-  std::vector<Operation> ops;
-};
 
 /// Generates the paper's workload mixes (Sec. VI-A2). All generators are
 /// deterministic for a fixed seed and only emit *valid* operations when
@@ -41,6 +23,13 @@ struct WorkloadPhase {
 /// The generator is stateful: successive calls continue from the key set
 /// left by the previous call, so a bench can chain e.g. MixedReadWrite
 /// segments without re-seeding.
+///
+/// Since the streaming refactor this class is a thin adapter: each
+/// method builds the corresponding pull-based OpSource (op_source.h)
+/// over the generator's shared LiveKeySet + Rng and drains it. The
+/// streams are bit-identical to the original hand-rolled loops for a
+/// fixed seed (golden-stream tests in workload_test.cc pin the hashes),
+/// so every historical BENCH_*.json stays comparable.
 class WorkloadGenerator {
  public:
   /// `loaded` is the sorted key set the index is bulk-loaded with.
@@ -69,23 +58,16 @@ class WorkloadGenerator {
                                      size_t queries_per_phase);
 
   /// Number of keys currently live (loaded plus net inserts/erases).
-  size_t live_keys() const { return present_.size(); }
+  size_t live_keys() const { return live_.size(); }
+
+  /// The shared live set / RNG, for callers composing their own
+  /// OpSources against this generator's state (the spec layer's
+  /// factory does).
+  LiveKeySet& live() { return live_; }
+  Rng& rng() { return rng_; }
 
  private:
-  Operation MakeLookup();
-  Operation MakeInsert();
-  Operation MakeErase();
-
-  /// Returns a key not currently present (near an existing key, so fresh
-  /// keys follow the loaded distribution as updates do in the paper).
-  Key FreshKey();
-
-  void RemovePresentAt(size_t idx);
-
-  std::vector<Key> present_;
-  // Maps each present key to its slot in present_, kept consistent under
-  // swap-removes so erases of specific keys are O(1).
-  std::unordered_map<Key, size_t> pos_;
+  LiveKeySet live_;
   Rng rng_;
 };
 

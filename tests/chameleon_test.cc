@@ -155,6 +155,9 @@ TEST(ChameleonIndexTest, RetrainerThreadRunsConcurrentlyWithWorkload) {
       case OpType::kErase:
         ASSERT_TRUE(index.Erase(op.key)) << op.key;
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
   // The workload can outrun the first retraining period; give the

@@ -113,6 +113,9 @@ TEST(ConcurrencyTest, PendingLogReplayLosesNothing) {
       case OpType::kErase:
         ASSERT_TRUE(index.Erase(op.key)) << op.key;
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
   index.StopRetrainer();

@@ -43,6 +43,9 @@ void RunCrudHarness(KvIndex* index, size_t n = 10'000, size_t ops = 15'000) {
         ASSERT_TRUE(index->Erase(op.key)) << op.key;
         ref.erase(op.key);
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
   ASSERT_EQ(index->size(), ref.size());

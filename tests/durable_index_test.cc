@@ -86,6 +86,9 @@ TEST_F(DurableIndexTest, CrashLosesNoAcknowledgedWriteUnderFsyncAlways) {
         case OpType::kErase:
           if (index->Erase(op.key)) reference.erase(op.key);
           break;
+        case OpType::kUpdate:
+        case OpType::kScan:
+          FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
       }
     }
     index->SimulateCrash();
@@ -289,6 +292,9 @@ TEST_F(DurableIndexTest, CheckpointerRetrainerWriterReadersCoexist) {
       case OpType::kErase:
         ASSERT_TRUE(index->Erase(op.key));
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
   index->StopCheckpointer();

@@ -59,6 +59,9 @@ void ApplySerial(KvIndex* index, const std::vector<Operation>& ops) {
       case OpType::kErase:
         ASSERT_TRUE(index->Erase(op.key)) << op.key;
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
 }
@@ -103,6 +106,10 @@ size_t RunPartitioned(KvIndex* index, const std::vector<Operation>& ops,
             break;
           case OpType::kErase:
             ok = index->Erase(op.key);
+            break;
+          case OpType::kUpdate:
+          case OpType::kScan:
+            ok = false;  // MixedReadWrite never emits these
             break;
         }
         if (!ok) misses.fetch_add(1, std::memory_order_relaxed);

@@ -75,6 +75,9 @@ TEST(SerializeTest, RestoredIndexIsFullyOperational) {
       case OpType::kErase:
         ASSERT_TRUE(index.Erase(op.key));
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
   EXPECT_EQ(index.size(), gen.live_keys());

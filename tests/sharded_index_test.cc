@@ -159,6 +159,9 @@ TEST(ShardedIndexTest, MixedReplayMatchesUnshardedAcrossShardCounts) {
         base_results.push_back(baseline->Erase(op.key));
         base_values.push_back(0);
         break;
+      case OpType::kUpdate:
+      case OpType::kScan:
+        FAIL() << "MixedReadWrite never emits " << OpTypeName(op.type);
     }
   }
 
@@ -182,6 +185,9 @@ TEST(ShardedIndexTest, MixedReplayMatchesUnshardedAcrossShardCounts) {
         case OpType::kErase:
           ok = sharded->Erase(ops[i].key);
           break;
+        case OpType::kUpdate:
+        case OpType::kScan:
+          FAIL() << "MixedReadWrite never emits " << OpTypeName(ops[i].type);
       }
       ASSERT_EQ(ok, base_results[i]) << "op " << i << " shards " << shards;
     }

@@ -19,6 +19,10 @@
 //   --zipf=T       zipf theta for the read workload (default 0.9 —
 //                  skewed enough that the hot range is visible)
 //   --mix=W        write ratio; 0 = read-only replay (default 0)
+//                  (--zipf/--mix are sugar for --workload='read(zipf=T)'
+//                  / 'mixed(w=W)'; the shared --workload=SPEC flag
+//                  accepts any workload-grammar spec — ycsb-a..f,
+//                  drifting hotspots, insdel — and overrides both)
 //   --top=K        hottest units listed individually (default 8)
 //   --out=PATH     write the JSON there instead of stdout
 //   --prom         also print the Prometheus rendering of the metrics
@@ -199,22 +203,38 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   }
-  // With --mix > 0 the replay stream is write-bearing, so honoring a
-  // multi-threaded request needs concurrent-write support from this
-  // exact composed stack. Single-stack tool: no row to skip to, so an
-  // unsupported stack is a hard loud error, not a silent R=1 run.
-  if (flags.mix > 0.0) {
+  // The replayed workload: --workload=SPEC wins; otherwise the legacy
+  // --mix/--zipf sugar compiles to the equivalent spec ("mixed(w=W)" /
+  // "read(zipf=T)"), so both paths produce the same descriptor — and
+  // bit-identical streams to the pre-grammar tool.
+  WorkloadDesc workload;
+  if (!opt.workload.empty()) {
+    workload = ResolveWorkload(opt, "read");
+  } else if (flags.mix > 0.0) {
+    workload.family = WorkloadDesc::Family::kMixed;
+    workload.write_ratio = flags.mix;
+  } else {
+    workload.family = WorkloadDesc::Family::kRead;
+    if (flags.zipf > 0.0) {
+      workload.dist.kind = DistDesc::Kind::kZipf;
+      workload.dist.theta = flags.zipf;
+    }
+  }
+  // With a write-bearing workload, honoring a multi-threaded request
+  // needs concurrent-write support from this exact composed stack.
+  // Single-stack tool: no row to skip to, so an unsupported stack is a
+  // hard loud error, not a silent R=1 run.
+  if (workload.has_writes()) {
     RequireConcurrentWritesOrDie(*index, opt, "chameleon_inspect",
-                                 "--mix > 0 makes the replay write-bearing");
+                                 "the workload makes the replay "
+                                 "write-bearing");
   }
   index->BulkLoad(data);
 
-  WorkloadGenerator gen(keys, opt.seed + 1);
   const std::vector<Operation> ops =
-      flags.mix > 0.0 ? gen.MixedReadWrite(opt.ops, flags.mix)
-                      : gen.ReadOnly(opt.ops, flags.zipf);
+      MaterializeWorkload(workload, keys, opt.seed + 1, opt.ops);
   const ReplayOptions ro =
-      flags.mix > 0.0 ? WriteReplayOptions(opt) : ReadReplayOptions(opt);
+      workload.has_writes() ? WriteReplayOptions(opt) : ReadReplayOptions(opt);
   const ReplayResult result = Replay(index.get(), ops, ro, report.lat());
 
   const obs::Heatmap heat = index->HeatmapSnapshot();
@@ -235,18 +255,22 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n"
                "  \"spec\": \"%s\",\n"
+               "  \"workload\": \"%s\",\n"
                "  \"dataset\": \"%s\",\n"
                "  \"sigma\": %.6g,\n"
                "  \"lsn\": %.6g,\n"
                "  \"scale\": %zu,\n"
                "  \"ops\": %zu,\n"
+               "  \"seed\": %llu,\n"
                "  \"zipf\": %.6g,\n"
                "  \"mix\": %.6g,\n"
                "  \"mean_ns\": %.6g,\n",
                JsonEscape(ComposeSpec(flags.index, opt)).c_str(),
+               JsonEscape(workload.Canonical()).c_str(),
                flags.sigma > 0.0 ? "clustered" : flags.dataset.c_str(),
                flags.sigma, LocalSkewness(keys), opt.scale, opt.ops,
-               flags.zipf, flags.mix, result.MeanNs());
+               static_cast<unsigned long long>(opt.seed), flags.zipf,
+               flags.mix, result.MeanNs());
   std::fprintf(out,
                "  \"size\": %zu,\n"
                "  \"size_bytes\": %zu,\n"
@@ -258,9 +282,10 @@ int main(int argc, char** argv) {
                stats.num_nodes);
   std::fprintf(out,
                "  \"build\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
-               "\"no_stats\": %s, \"simd_kernel\": \"%s\"},\n",
+               "\"seed\": %llu, \"no_stats\": %s, \"simd_kernel\": \"%s\"},\n",
                JsonEscape(CHAMELEON_GIT_SHA).c_str(),
                JsonEscape(CHAMELEON_BUILD_TYPE).c_str(),
+               static_cast<unsigned long long>(opt.seed),
 #ifdef CHAMELEON_NO_STATS
                "true",
 #else
